@@ -1,0 +1,51 @@
+"""Benchmark harness configuration.
+
+Each ``benchmarks/test_*.py`` regenerates one table or figure of the paper
+(or an ablation beyond it) at CI scale, printing the same rows/series the
+paper reports and attaching the headline numbers to the pytest-benchmark
+record via ``extra_info``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Wall time measured by pytest-benchmark is the *simulator's* cost, not the
+simulated system's performance — the reproduced bandwidths are in the
+printed output and the extra_info fields.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import GiB
+
+
+def attach_series(benchmark, result) -> None:
+    """Record an ExperimentResult's headline numbers on the benchmark."""
+    for series in result.series:
+        if series.ys:
+            benchmark.extra_info[f"{series.name} [GiB/s]"] = [
+                round(y / GiB, 3) for y in series.ys
+            ]
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def _run(experiment: str, scale: str = "ci", seed: int = 0):
+        from repro.experiments.registry import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        attach_series(benchmark, result)
+        with capsys.disabled():
+            print()
+            print(result.render())
+        return result
+
+    return _run

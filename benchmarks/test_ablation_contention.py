@@ -1,0 +1,63 @@
+"""Ablation: shared-index-KV serialisation cost.
+
+The Fig 4 droop comes from updates serialising at the single shared
+forecast index KV; this ablation sweeps the KV update service time (half /
+paper / double) and shows the write ceiling move inversely — the knob a
+DAOS-side VOS optimisation would turn.
+"""
+
+
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_a,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig, DaosServiceConfig
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB, USEC
+
+SERVICE_TIMES = (35 * USEC, 70 * USEC, 140 * USEC)
+
+
+def _sweep():
+    results = {}
+    for service_time in SERVICE_TIMES:
+        daos = DaosServiceConfig(kv_put_service_time=service_time)
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=4, n_client_nodes=8, daos=daos)
+        )
+        params = FieldIOBenchParams(
+            mode=FieldIOMode.NO_CONTAINERS,
+            contention=Contention.HIGH,
+            n_ops=50,
+            field_size=1 * MiB,
+            processes_per_node=8,
+            startup_skew=0.05,
+        )
+        summary = run_fieldio_pattern_a(cluster, system, pool, params).summary
+        results[service_time] = summary
+    return results
+
+
+def test_ablation_shared_kv_service(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{service_time / USEC:.0f} us",
+            f"{1.0 / service_time / 1000:.1f}k ops/s",
+            f"{results[service_time].write_global / GiB:.2f}",
+        ]
+        for service_time in SERVICE_TIMES
+    ]
+    with capsys.disabled():
+        print()
+        print("== ablation: shared index KV update cost (4 servers, high contention) ==")
+        print(format_table(["kv_put service", "theoretical ceiling", "write GiB/s"], rows))
+    # Faster KV updates raise the contended write ceiling and vice versa.
+    fast, paper, slow = (results[t].write_global for t in SERVICE_TIMES)
+    assert fast > paper > slow
+    benchmark.extra_info["write GiB/s at 35/70/140us"] = [
+        round(results[t].write_global / GiB, 2) for t in SERVICE_TIMES
+    ]

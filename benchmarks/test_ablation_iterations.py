@@ -1,0 +1,66 @@
+"""Ablation: iteration count vs global timing bandwidth (§6.3.1).
+
+The paper states the Field I/O iteration count of 2000 is "necessary due to
+the lack of synchronisation in Field I/O, to reduce the effect of any
+process start-up delays in global timing bandwidth measurements".  This
+ablation measures exactly that: at fixed start-up skew, short runs report a
+diluted global timing bandwidth that converges as ops per process grow —
+the reason Fig 6's 100-op runs sit lower than Fig 4/5's 2000-op runs.
+"""
+
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_a,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB
+
+OP_COUNTS = (10, 40, 160)
+
+
+def _sweep():
+    results = {}
+    for n_ops in OP_COUNTS:
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=2, n_client_nodes=4)
+        )
+        params = FieldIOBenchParams(
+            mode=FieldIOMode.NO_CONTAINERS,
+            contention=Contention.LOW,
+            n_ops=n_ops,
+            field_size=1 * MiB,
+            processes_per_node=8,
+            startup_skew=0.1,  # fixed skew: the dilution source
+        )
+        results[n_ops] = run_fieldio_pattern_a(cluster, system, pool, params).summary
+    return results
+
+
+def test_ablation_iteration_count(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            n_ops,
+            f"{results[n_ops].write_global / GiB:.2f}",
+            f"{results[n_ops].read_global / GiB:.2f}",
+        ]
+        for n_ops in OP_COUNTS
+    ]
+    with capsys.disabled():
+        print()
+        print("== ablation: ops/process vs global timing bandwidth (fixed skew) ==")
+        print(format_table(["ops/process", "write GiB/s", "read GiB/s"], rows))
+    # Monotone convergence: more iterations, higher measured bandwidth.
+    writes = [results[n].write_global for n in OP_COUNTS]
+    assert writes[0] < writes[1] < writes[2]
+    # Short runs are substantially diluted (the paper's motivation for 2000).
+    assert writes[0] < 0.7 * writes[2]
+    for n_ops in OP_COUNTS:
+        benchmark.extra_info[f"{n_ops} ops w/r GiB/s"] = (
+            round(results[n_ops].write_global / GiB, 2),
+            round(results[n_ops].read_global / GiB, 2),
+        )

@@ -1,0 +1,71 @@
+"""Ablation: metadata RPC latency sensitivity.
+
+The paper attributes much of the Field-I/O-vs-IOR gap to the extra metadata
+round trips of indexed field access (§6.3.1) and the TCP provider's latency
+(§6.1.1).  This ablation scales the provider's message latency by 0.25x /
+1x / 4x and measures the Field I/O full-mode bandwidth: the 0.25x point
+approximates what an RDMA-class metadata path would recover.
+"""
+
+import dataclasses
+
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_a,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import TCP_PROVIDER, ClusterConfig
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB
+
+FACTORS = (0.25, 1.0, 4.0)
+
+
+def _sweep():
+    results = {}
+    for factor in FACTORS:
+        provider = dataclasses.replace(
+            TCP_PROVIDER, message_latency=TCP_PROVIDER.message_latency * factor
+        )
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=2, n_client_nodes=4, provider=provider)
+        )
+        params = FieldIOBenchParams(
+            mode=FieldIOMode.FULL,
+            contention=Contention.LOW,
+            n_ops=40,
+            field_size=1 * MiB,
+            processes_per_node=4,
+            startup_skew=0.02,
+        )
+        summary = run_fieldio_pattern_a(cluster, system, pool, params).summary
+        results[factor] = summary
+    return results
+
+
+def test_ablation_metadata_latency(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{factor}x",
+            f"{results[factor].write_global / GiB:.2f}",
+            f"{results[factor].read_global / GiB:.2f}",
+        ]
+        for factor in FACTORS
+    ]
+    with capsys.disabled():
+        print()
+        print("== ablation: metadata latency (Field I/O full, low contention) ==")
+        print(format_table(["latency scale", "write GiB/s", "read GiB/s"], rows))
+    # Latency hurts: bandwidth decreases monotonically with message latency
+    # in this sub-saturated configuration.
+    assert results[0.25].write_global > results[1.0].write_global
+    assert results[1.0].write_global > results[4.0].write_global
+    assert results[0.25].read_global > results[4.0].read_global
+    for factor in FACTORS:
+        benchmark.extra_info[f"{factor}x w/r GiB/s"] = (
+            round(results[factor].write_global / GiB, 2),
+            round(results[factor].read_global / GiB, 2),
+        )

@@ -1,0 +1,69 @@
+"""Ablation: stripe-count sweep beyond the paper's three classes.
+
+Fig 6 tests S1/S2/SX; this ablation adds S4 and runs the sub-saturated
+two-process configuration where the per-op structure is visible, mapping
+out where the write benefit of wider striping crosses the read penalty.
+"""
+
+
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_a,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.objclass import OC_S1, OC_S2, OC_S4, OC_SX
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB
+
+CLASSES = (OC_S1, OC_S2, OC_S4, OC_SX)
+
+
+def _sweep():
+    rows = []
+    results = {}
+    for oclass in CLASSES:
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=2, n_client_nodes=2)
+        )
+        params = FieldIOBenchParams(
+            mode=FieldIOMode.FULL,
+            contention=Contention.HIGH,
+            n_ops=25,
+            field_size=10 * MiB,
+            processes_per_node=1,
+            array_oclass=oclass,
+            startup_skew=0.0,
+        )
+        summary = run_fieldio_pattern_a(cluster, system, pool, params).summary
+        results[oclass.name] = summary
+        rows.append(
+            [
+                oclass.name,
+                oclass.stripe_count if oclass.stripe_count else "all",
+                f"{summary.write_global / GiB:.2f}",
+                f"{summary.read_global / GiB:.2f}",
+            ]
+        )
+    return rows, results
+
+
+def test_ablation_striping(benchmark, capsys):
+    rows, results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("== ablation: stripe count (10 MiB fields, 2 procs, 2 servers) ==")
+        print(format_table(["class", "stripes", "write GiB/s", "read GiB/s"], rows))
+    # Write improves monotonically-ish with striping width...
+    assert results["SX"].write_global > results["S1"].write_global
+    assert results["S4"].write_global > results["S1"].write_global
+    # ...while the read optimum sits at a modest stripe count.
+    assert results["S2"].read_global > results["S1"].read_global
+    assert results["S2"].read_global >= results["SX"].read_global * 0.95
+    for oclass in CLASSES:
+        benchmark.extra_info[f"{oclass.name} w/r GiB/s"] = (
+            round(results[oclass.name].write_global / GiB, 2),
+            round(results[oclass.name].read_global / GiB, 2),
+        )

@@ -1,0 +1,20 @@
+"""Regenerate Fig 3: IOR bandwidth vs server nodes, pattern A (§6.2).
+
+Paper shape: near-linear scaling at ~2.5 GiB/s write / ~3.75 GiB/s read per
+engine (2 engines per server node); 2x client nodes best.
+"""
+
+
+def test_fig3(regenerate):
+    result = regenerate("fig3")
+    write_2x = result.series_by_name("write 2x clients")
+    read_2x = result.series_by_name("read 2x clients")
+    # Monotone scaling with server count.
+    assert write_2x.is_nondecreasing()
+    assert read_2x.is_nondecreasing()
+    # Roughly linear: 4 servers within 25% of 4x one server.
+    assert write_2x.y_at(4) > 3.0 * write_2x.y_at(1)
+    # 2x clients at least as good as 1x for reads.
+    read_1x = result.series_by_name("read 1x clients")
+    for servers in write_2x.xs:
+        assert read_2x.y_at(servers) >= read_1x.y_at(servers) * 0.95

@@ -1,0 +1,26 @@
+"""Regenerate Fig 4: Field I/O vs server nodes, high contention (§6.3.1).
+
+Paper shape: all modes scale with servers; *no index* scales like IOR;
+indexed modes bend as the shared forecast index KV serialises; pattern B
+write+read aggregate ~2 GiB/s per engine.
+"""
+
+from repro.units import GiB
+
+
+def test_fig4(regenerate):
+    result = regenerate("fig4")
+    for mode in ("full", "no_containers", "no_index"):
+        assert result.series_by_name(f"A write {mode}").is_nondecreasing(0.1)
+        assert result.series_by_name(f"A read {mode}").is_nondecreasing(0.1)
+    # no-index out-writes the indexed modes at the largest server count.
+    largest = result.series_by_name("A write full").xs[-1]
+    no_index = result.series_by_name("A write no_index").y_at(largest)
+    full = result.series_by_name("A write full").y_at(largest)
+    assert no_index > full
+    # Pattern B aggregate is in the right band (~2 GiB/s per engine).
+    b_write = result.series_by_name("B write no_containers").y_at(largest)
+    b_read = result.series_by_name("B read no_containers").y_at(largest)
+    engines = 2 * largest
+    per_engine = (b_write + b_read) / engines / GiB
+    assert 1.0 < per_engine < 3.5

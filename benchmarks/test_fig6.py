@@ -1,0 +1,23 @@
+"""Regenerate Fig 6: object class and size sweep (§6.3.2).
+
+Paper shape: bandwidth roughly doubles from 1 to 5-10 MiB objects; striping
+across all targets (SX) wins the write phase; striping across two targets
+(S2) wins the read phase.
+"""
+
+
+def test_fig6(regenerate):
+    result = regenerate("fig6")
+    # Size effect: 10 MiB well above 1 MiB for every class and direction.
+    for series in result.series:
+        assert series.y_at(10) > 1.4 * series.y_at(1), series.name
+    # Striping split at 10 MiB.
+    assert result.series_by_name("write SX").y_at(10) > result.series_by_name(
+        "write S1"
+    ).y_at(10)
+    assert result.series_by_name("read S2").y_at(10) > result.series_by_name(
+        "read S1"
+    ).y_at(10)
+    assert result.series_by_name("read S2").y_at(10) >= result.series_by_name(
+        "read SX"
+    ).y_at(10) * 0.95

@@ -1,0 +1,48 @@
+"""Extension benchmark: mdtest-style metadata rates over DFS.
+
+Not a paper table/figure — the paper cites DAOS's IO-500 standing (§1, §2),
+where mdtest measures metadata rates; this bench shows what the simulated
+stack delivers and how metadata rates scale with engines, complementing the
+bandwidth-oriented figures.
+"""
+
+from repro.bench.mdtest import MdtestParams, run_mdtest
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+
+
+def _sweep():
+    results = {}
+    for servers in (1, 2, 4):
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=servers, n_client_nodes=2 * servers)
+        )
+        params = MdtestParams(processes_per_node=8, files_per_process=24)
+        results[servers] = run_mdtest(cluster, system, pool, params)
+    return results
+
+
+def test_mdtest_metadata_rates(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            servers,
+            f"{result.create_rate / 1000:.1f}k",
+            f"{result.stat_rate / 1000:.1f}k",
+            f"{result.remove_rate / 1000:.1f}k",
+        ]
+        for servers, result in results.items()
+    ]
+    with capsys.disabled():
+        print()
+        print("== extension: mdtest metadata rates (ops/s) ==")
+        print(format_table(["server nodes", "create", "stat", "remove"], rows))
+    # Stats out-rate creates everywhere; rates grow with the deployment.
+    for result in results.values():
+        assert result.stat_rate > result.create_rate
+    assert results[4].stat_rate > results[1].stat_rate
+    for servers, result in results.items():
+        benchmark.extra_info[f"{servers} servers c/s/r ops/s"] = [
+            round(result.create_rate), round(result.stat_rate), round(result.remove_rate)
+        ]

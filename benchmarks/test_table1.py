@@ -1,0 +1,18 @@
+"""Regenerate Table 1: IOR segments on one server node (§6.2).
+
+Paper rows (max synchronous bandwidth, GiB/s):
+    1 engine / 1 iface : 3.0w/4.2r (1 client node), 2.6w/6.2r (2 nodes)
+    1 engine / 2 ifaces: 3.0w/7.4r,                 2.9w/7.7r
+    2 engines/ 2 ifaces: 5.5w/7.5r,                 5.5w/9.5r
+"""
+
+
+
+def test_table1(regenerate, benchmark):
+    result = regenerate("table1")
+    assert len(result.rows) == 3
+    # Shape: the dual-engine row writes ~2x the single-engine rows.
+    single = float(result.rows[0][3].split("w")[0])
+    dual = float(result.rows[2][3].split("w")[0])
+    assert dual > 1.7 * single
+    benchmark.extra_info["rows"] = [" | ".join(map(str, r)) for r in result.rows]

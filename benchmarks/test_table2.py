@@ -1,0 +1,23 @@
+"""Regenerate Table 2: MPI point-to-point transfer bandwidth (§6.2).
+
+Paper rows (GiB/s): PSM2 x1 = 12.1; TCP x1/x2/x4/x8/x16 = 3.1/4.1/6.9/9.5/9.0.
+"""
+
+
+def test_table2(regenerate, benchmark):
+    result = regenerate("table2")
+    assert len(result.rows) == 6
+    measured = {
+        (row[0], row[1]): float(row[4]) for row in result.rows
+    }
+    paper = {
+        ("PSM2", 1): 12.1,
+        ("TCP", 1): 3.1,
+        ("TCP", 2): 4.1,
+        ("TCP", 4): 6.9,
+        ("TCP", 8): 9.5,
+        ("TCP", 16): 9.0,
+    }
+    for key, expected in paper.items():
+        assert measured[key] == expected or abs(measured[key] - expected) / expected < 0.2
+    benchmark.extra_info["rows"] = [" | ".join(map(str, r)) for r in result.rows]

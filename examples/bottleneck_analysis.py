@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Where does the bandwidth go?  Bottleneck analysis of the IOR workload.
+
+The paper reasons about which resource binds each phase — SCM media for
+writes, client interfaces and engine send paths for reads (§6.2).  The
+simulator can *show* it: this example samples every link's utilisation
+separately during the IOR write and read phases and prints the top-ranked
+links per phase.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro.bench.ior import IorParams, run_ior
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.bench.telemetry import LinkSampler
+from repro.config import ClusterConfig
+from repro.units import GiB, MiB
+
+
+def print_top(title: str, sampler: LinkSampler) -> None:
+    print(f"\n== {title} ==")
+    rows = [
+        [
+            stat.name,
+            f"{stat.mean_utilisation * 100:.0f}%",
+            f"{stat.max_utilisation * 100:.0f}%",
+            stat.max_flows,
+        ]
+        for stat in sampler.report(top=6)
+    ]
+    print(format_table(["link", "mean util", "max util", "max flows"], rows))
+
+
+def main() -> None:
+    print("1 server node (2 engines), 2 client nodes, 16 processes per node")
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=2)
+    )
+    write_sampler = LinkSampler(cluster.sim, cluster.net, interval=0.001)
+    read_sampler = LinkSampler(cluster.sim, cluster.net, interval=0.001)
+
+    def switch_samplers() -> None:
+        write_sampler.stop()
+        read_sampler.start()
+
+    write_sampler.start()
+    result = run_ior(
+        cluster,
+        system,
+        pool,
+        IorParams(segment_size=1 * MiB, segments=30, processes_per_node=16),
+        between_phases=switch_samplers,
+    )
+    read_sampler.stop()
+
+    print_top(
+        f"write phase: {result.summary.write_sync / GiB:.2f} GiB/s", write_sampler
+    )
+    print_top(
+        f"read phase: {result.summary.read_sync / GiB:.2f} GiB/s", read_sampler
+    )
+    print(
+        "\nInterpretation: the write phase pins the per-engine receive path "
+        "and the (write-amplified) SCM media — the paper's ~2.5-3 GiB/s per "
+        "engine ceiling; the read phase shifts the pressure to the engine "
+        "transmit path and the client receive stacks, which is why reads "
+        "want more client interfaces than server interfaces (§6.2, Table 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many DAOS/SCM server nodes does ECMWF need?
+
+The paper's motivation (§1.3): today's operational window writes ~40 TiB in
+one hour, with ~180 TiB expected shortly and ~700 TiB in the near future;
+§7 concludes "a small DAOS system with SCM, in the order of few tens of
+nodes, could perform as well as the HPC storage currently used".
+
+This example turns that conclusion into numbers: sweep the server-node
+count, measure the sustained aggregated Field I/O bandwidth of the
+operational access pattern (B: writes while reads), extrapolate to the
+bandwidth each data volume needs, and print the minimum deployment.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analytic.model import ior_write_bound
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_b,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB, TiB
+
+#: Operational data volumes per 1-hour time-critical window (§1.3).
+SCENARIOS = (
+    ("today", 40 * TiB),
+    ("soon", 180 * TiB),
+    ("near future", 700 * TiB),
+)
+WINDOW_SECONDS = 3600.0
+
+
+def measured_aggregate(servers: int) -> float:
+    """Sustained pattern-B aggregated bandwidth at a given server count."""
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=servers, n_client_nodes=2 * servers)
+    )
+    params = FieldIOBenchParams(
+        mode=FieldIOMode.NO_CONTAINERS,  # the paper's best-performing mode
+        contention=Contention.LOW,
+        n_ops=60,
+        field_size=1 * MiB,
+        processes_per_node=8,
+        startup_skew=0.05,
+    )
+    result = run_fieldio_pattern_b(cluster, system, pool, params)
+    return result.summary.aggregated_global
+
+
+def main() -> None:
+    sweep = [1, 2, 4, 6, 8]
+    print("measuring sustained pattern-B bandwidth (no-containers mode)...")
+    points = {}
+    for servers in sweep:
+        bandwidth = measured_aggregate(servers)
+        points[servers] = bandwidth
+        print(f"  {servers} server nodes: {bandwidth / GiB:.1f} GiB/s aggregated")
+
+    # Fit the per-node rate from the largest measured points (past the
+    # small-scale latency regime) and extrapolate.
+    per_node = points[sweep[-1]] / sweep[-1]
+    print(f"\nfitted rate: {per_node / GiB:.2f} GiB/s per server node")
+
+    rows = []
+    for name, volume in SCENARIOS:
+        # The window must absorb the write volume and feed product
+        # generation reads of the same order: aggregated demand is ~2x.
+        demand = 2 * volume / WINDOW_SECONDS
+        nodes = max(1, round(demand / per_node + 0.5))
+        rows.append(
+            [
+                name,
+                f"{volume / TiB:.0f} TiB",
+                f"{demand / GiB:.0f} GiB/s",
+                nodes,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["scenario", "window volume", "aggregated demand", "server nodes needed"],
+            rows,
+        )
+    )
+
+    # Cross-check the headline: the paper reaches ~70 GiB/s with 12 servers.
+    twelve = per_node * 12 / GiB
+    print(
+        f"\nprojection at 12 server nodes: {twelve:.0f} GiB/s aggregated "
+        "(paper: ~70 GiB/s, §6.3.1)"
+    )
+    write_bound = ior_write_bound(ClusterConfig(n_server_nodes=12, n_client_nodes=24))
+    print(
+        f"analytic write-path bound at 12 nodes: {write_bound / GiB:.0f} GiB/s "
+        "(writes only)"
+    )
+
+
+if __name__ == "__main__":
+    main()

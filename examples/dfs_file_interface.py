@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The POSIX face of DAOS: a file tree of GRIB outputs plus metadata rates.
+
+DAOS's appeal (§2) is serving *both* object-native tools like FDB *and*
+file-interface applications on the same storage.  This example mounts the
+DFS layer on a simulated deployment, lays out a forecast's outputs as a
+directory tree (the way file-based NWP pipelines do), reads some back, and
+finishes with a miniature mdtest to show the metadata rates the same
+deployment sustains.
+
+Run:  python examples/dfs_file_interface.py
+"""
+
+from repro.bench.mdtest import MdtestParams, run_mdtest
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.dfs import Dfs
+from repro.units import MiB, format_size
+from repro.workloads import ForecastSpec, field_payload
+
+FIELD_SIZE = 1 * MiB
+
+
+def main() -> None:
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    client = DaosClient(system, cluster.client_addresses(1)[0])
+    dfs = cluster.sim.run(until=cluster.sim.process(Dfs.mount(client, pool)))
+
+    forecast = ForecastSpec(
+        params=("t", "u", "v"), levels=("850", "500"), steps=("0", "6")
+    )
+
+    def build_tree(dfs, forecast):
+        yield from dfs.mkdir("/fc")
+        for step in forecast.steps:
+            yield from dfs.mkdir(f"/fc/step{step}")
+        for key in forecast.field_keys():
+            path = f"/fc/step{key['step']}/{key['param']}{key['levelist']}.grib"
+            yield from dfs.write_file(path, field_payload(key, FIELD_SIZE))
+        listing = {}
+        for step in forecast.steps:
+            listing[step] = yield from dfs.listdir(f"/fc/step{step}")
+        payload = yield from dfs.read_file("/fc/step0/t850.grib")
+        stat = yield from dfs.stat("/fc/step0/t850.grib")
+        return listing, payload, stat
+
+    listing, payload, stat = cluster.sim.run(
+        until=cluster.sim.process(build_tree(dfs, forecast))
+    )
+    print(f"wrote {forecast.n_fields} GRIB files of {format_size(FIELD_SIZE)}:")
+    for step, names in listing.items():
+        print(f"  /fc/step{step}: {', '.join(names)}")
+    print(f"\nread back {stat.path}: {format_size(payload.size)}, "
+          f"stat says {format_size(stat.size)}")
+    print(f"pool usage: {format_size(pool.used)}")
+    print(f"simulated time so far: {cluster.sim.now * 1000:.1f} ms")
+
+    # A fresh deployment for the metadata microbenchmark.
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    result = run_mdtest(
+        cluster, system, pool, MdtestParams(processes_per_node=8, files_per_process=32)
+    )
+    print(
+        f"\nmdtest (8 procs x 32 files): create {result.create_rate / 1000:.1f}k/s, "
+        f"stat {result.stat_rate / 1000:.1f}k/s, "
+        f"remove {result.remove_rate / 1000:.1f}k/s"
+    )
+    print(
+        "The same engines that move GiB/s of field data also serve tens of "
+        "thousands of metadata ops per second — the 'more intensive metadata "
+        "operations' headroom the paper's conclusion calls for (§7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

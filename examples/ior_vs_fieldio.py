@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare IOR (segments mode) with the Field I/O benchmark on one cluster.
+
+Reproduces the paper's methodological point (§5): IOR in segments mode
+measures the *best possible* throughput (synchronised processes, one huge
+transfer each), while the Field I/O benchmark measures what an FDB-style
+application actually experiences (many small indexed field operations, no
+synchronisation).  The gap between the two is the cost of real application
+behaviour — and the *global timing bandwidth* metric is what exposes it.
+
+Run:  python examples/ior_vs_fieldio.py
+"""
+
+from repro.bench import (
+    Contention,
+    FieldIOBenchParams,
+    IorParams,
+    run_fieldio_pattern_a,
+    run_ior,
+)
+from repro.bench.report import format_table
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, MiB
+
+SERVERS = 2
+CLIENTS = 4  # the paper's 2x ratio
+
+
+def main() -> None:
+    rows = []
+
+    # --- IOR: the "ideal application" ceiling -----------------------------
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=SERVERS, n_client_nodes=CLIENTS)
+    )
+    ior = run_ior(
+        cluster, system, pool,
+        IorParams(segment_size=1 * MiB, segments=50, processes_per_node=16),
+    )
+    rows.append(
+        [
+            "IOR segments (sync bw)",
+            f"{ior.summary.write_sync / GiB:.2f}",
+            f"{ior.summary.read_sync / GiB:.2f}",
+        ]
+    )
+
+    # --- Field I/O in its three modes --------------------------------------
+    for mode in FieldIOMode:
+        cluster, system, pool = build_deployment(
+            ClusterConfig(n_server_nodes=SERVERS, n_client_nodes=CLIENTS)
+        )
+        params = FieldIOBenchParams(
+            mode=mode,
+            contention=Contention.LOW,
+            n_ops=80,
+            field_size=1 * MiB,
+            processes_per_node=16,
+            startup_skew=0.05,
+        )
+        result = run_fieldio_pattern_a(cluster, system, pool, params)
+        rows.append(
+            [
+                f"Field I/O {mode.value} (global bw)",
+                f"{result.summary.write_global / GiB:.2f}",
+                f"{result.summary.read_global / GiB:.2f}",
+            ]
+        )
+
+    print(
+        f"{SERVERS} server nodes ({2 * SERVERS} engines), {CLIENTS} client "
+        f"nodes, 1 MiB objects\n"
+    )
+    print(format_table(["benchmark", "write GiB/s", "read GiB/s"], rows))
+    print(
+        "\nIOR shows the hardware ceiling; the Field I/O modes show what the "
+        "indexing and container layers of a domain object store cost on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``) on
+machines without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Reproduction of "DAOS as HPC Storage: a View From Numerical Weather
+Prediction" (Manubens, Quintino, Smart, Danovaro, Jackson — IPPS 2023).
+
+The package simulates the paper's full experimental stack in Python:
+
+* :mod:`repro.simulation` — a deterministic discrete-event kernel;
+* :mod:`repro.network` — fluid-flow bandwidth sharing, the dual-rail
+  OmniPath fabric, and the OFI TCP/PSM2 provider models;
+* :mod:`repro.hardware` — Optane DCPMM (SCM) and NEXTGenIO-style nodes;
+* :mod:`repro.daos` — a functional + timed DAOS: pools, containers, KV and
+  Array objects, object classes/striping, engines and targets;
+* :mod:`repro.fdb` — the FDB5-style weather-field object store (Algorithms
+  1 and 2) and its three benchmark modes;
+* :mod:`repro.workloads` — synthetic weather fields and NWP key streams;
+* :mod:`repro.bench` — IOR (segments mode), the Field I/O benchmark,
+  MPI point-to-point, and the §5.5 bandwidth metrics;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro.fdb import FDB
+
+    fdb = FDB()
+    key = {"class": "od", "stream": "oper", "expver": "0001",
+           "date": "20260705", "time": "00", "type": "fc",
+           "levtype": "pl", "levelist": "500", "param": "t", "step": "6"}
+    fdb.archive(key, b"...field bytes...")
+    assert fdb.retrieve(key) == b"...field bytes..."
+"""
+
+from repro.config import (
+    ClusterConfig,
+    DaosServiceConfig,
+    HardwareConfig,
+    PSM2_PROVIDER,
+    ProviderSpec,
+    TCP_PROVIDER,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "DaosServiceConfig",
+    "HardwareConfig",
+    "ProviderSpec",
+    "TCP_PROVIDER",
+    "PSM2_PROVIDER",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Closed-form bandwidth model used to cross-check the simulator.
+
+For simple steady-state workloads the achievable bandwidth is just the
+minimum over the capacity constraints along the data paths; the DES must
+agree with that within a small tolerance, which guards the calibration
+against regressions.  See :mod:`repro.analytic.model`.
+"""
+
+from repro.analytic.model import (
+    fieldio_write_bound,
+    ior_read_bound,
+    ior_write_bound,
+    mpi_p2p_bound,
+)
+
+__all__ = [
+    "ior_write_bound",
+    "ior_read_bound",
+    "fieldio_write_bound",
+    "mpi_p2p_bound",
+]

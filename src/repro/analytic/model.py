@@ -1,0 +1,95 @@
+"""Closed-form steady-state bandwidth bounds.
+
+The fluid-flow simulator's steady-state aggregate bandwidth for a balanced
+workload is the minimum over the shared capacity constraints; these
+functions compute that minimum for the workloads where it is tractable, so
+tests can assert ``DES ≈ analytic`` and catch calibration regressions.
+
+All bounds assume:
+* client processes balanced over client sockets (the §6.1.2 pinning),
+* objects placed uniformly over engines,
+* enough concurrent processes to saturate (per-flow caps not binding).
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig
+
+__all__ = [
+    "ior_write_bound",
+    "ior_read_bound",
+    "fieldio_write_bound",
+    "mpi_p2p_bound",
+]
+
+
+def _common(config: ClusterConfig):
+    hw = config.hardware
+    provider = config.provider
+    engines = config.total_engines
+    client_ports = config.n_client_nodes * config.resolved_client_sockets
+    rails = hw.sockets_per_node
+    return hw, provider, engines, client_ports, rails
+
+
+def ior_write_bound(config: ClusterConfig, n_streams_per_port: int = 32) -> float:
+    """Aggregate steady-state write bandwidth bound (bytes/s).
+
+    Constraints: client stack tx and adapter aggregate per port; rail
+    bisection; per-engine network rx; SCM media divided by the write
+    amplification.
+    """
+    hw, provider, engines, client_ports, rails = _common(config)
+    per_port = min(
+        provider.adapter_capacity(n_streams_per_port), provider.client_tx_cap
+    )
+    client_side = client_ports * per_port
+    rail_side = rails * hw.rail_bisection_bw
+    engine_side = engines * min(
+        provider.engine_rx_cap, hw.scm_media_bw / hw.scm_write_amplification
+    )
+    return min(client_side, rail_side, engine_side)
+
+
+def ior_read_bound(config: ClusterConfig, n_streams_per_port: int = 32) -> float:
+    """Aggregate steady-state read bandwidth bound (bytes/s)."""
+    hw, provider, engines, client_ports, rails = _common(config)
+    per_port = min(
+        provider.adapter_capacity(n_streams_per_port), provider.client_rx_cap
+    )
+    client_side = client_ports * per_port
+    rail_side = rails * hw.rail_bisection_bw
+    engine_side = engines * min(provider.engine_tx_cap, hw.scm_media_bw)
+    return min(client_side, rail_side, engine_side)
+
+
+def fieldio_write_bound(
+    config: ClusterConfig, shared_index_kv: bool, field_size: int
+) -> float:
+    """Steady-state Field I/O write bound for indexed modes (bytes/s).
+
+    The hardware-side bound is the IOR write bound; with a single *shared*
+    forecast index KV every field write additionally serialises one KV
+    update of ``kv_put_service_time``, capping the op rate — the Fig 4
+    ceiling.
+    """
+    hardware_bound = ior_write_bound(config)
+    if not shared_index_kv:
+        return hardware_bound
+    kv_ceiling_ops = 1.0 / config.daos.kv_put_service_time
+    return min(hardware_bound, kv_ceiling_ops * field_size)
+
+
+def mpi_p2p_bound(config: ClusterConfig, pairs: int, transfer_size: int) -> float:
+    """Aggregate MPI point-to-point bandwidth for ``pairs`` streams.
+
+    One adapter each side; per-message latency serialises with the fluid
+    transfer, so effective per-stream rate is ``size / (latency + size/r)``.
+    """
+    provider = config.provider
+    adapter = provider.adapter_capacity(pairs)
+    per_stream_rate = min(provider.per_flow_cap, adapter / pairs)
+    effective_per_stream = transfer_size / (
+        provider.message_latency + transfer_size / per_stream_rate
+    )
+    return pairs * effective_per_stream

@@ -1,0 +1,60 @@
+"""Benchmarks and metrics (§5 of the paper).
+
+* :mod:`repro.bench.timestamps` — the per-I/O event timestamps of §5.5.
+* :mod:`repro.bench.metrics` — *synchronous bandwidth* (eq. 1) and *global
+  timing bandwidth* (eq. 2).
+* :mod:`repro.bench.ior` — IOR clone in segments mode (access pattern A).
+* :mod:`repro.bench.fieldio_bench` — the Field I/O benchmark in its three
+  modes, with contention control and access patterns A and B.
+* :mod:`repro.bench.mpi_p2p` — MPI-style point-to-point transfer benchmark
+  (Table 2).
+* :mod:`repro.bench.runner` / :mod:`repro.bench.report` — sweep execution
+  and table formatting for the experiment drivers.
+"""
+
+from repro.bench.timestamps import IoEvent, IoRecord, TimestampLog
+from repro.bench.metrics import (
+    BandwidthSummary,
+    global_timing_bandwidth,
+    synchronous_bandwidth,
+    summarise,
+)
+from repro.bench.sync import Barrier
+from repro.bench.ior import IorParams, IorResult, run_ior
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    FieldIOBenchResult,
+    run_fieldio_pattern_a,
+    run_fieldio_pattern_b,
+)
+from repro.bench.mpi_p2p import MpiP2pParams, MpiP2pResult, run_mpi_p2p
+from repro.bench.mdtest import MdtestParams, MdtestResult, run_mdtest
+from repro.bench.telemetry import LinkSampler, LinkUtilisation
+
+__all__ = [
+    "IoEvent",
+    "IoRecord",
+    "TimestampLog",
+    "BandwidthSummary",
+    "synchronous_bandwidth",
+    "global_timing_bandwidth",
+    "summarise",
+    "Barrier",
+    "IorParams",
+    "IorResult",
+    "run_ior",
+    "Contention",
+    "FieldIOBenchParams",
+    "FieldIOBenchResult",
+    "run_fieldio_pattern_a",
+    "run_fieldio_pattern_b",
+    "MpiP2pParams",
+    "MpiP2pResult",
+    "run_mpi_p2p",
+    "MdtestParams",
+    "MdtestResult",
+    "run_mdtest",
+    "LinkSampler",
+    "LinkUtilisation",
+]

@@ -1,0 +1,153 @@
+"""mdtest-style metadata benchmark over DFS.
+
+The paper situates DAOS through its IO-500 results (§1, §2), where the
+``mdtest`` phases measure metadata rates.  This benchmark reproduces the
+classic mdtest shape on the simulated stack: each process creates a private
+working directory, creates ``files_per_process`` zero-or-small files in it,
+stats them all, and removes them; each phase is barrier-separated and its
+aggregate operation rate is reported.
+
+This exercises exactly the paths the paper calls "more intensive metadata
+operations" (§7): directory-KV updates, pool-service traffic, per-target
+service queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.bench.sync import Barrier
+from repro.daos.client import DaosClient
+from repro.daos.dfs import Dfs
+from repro.daos.payload import PatternPayload
+from repro.daos.system import DaosSystem
+from repro.hardware.topology import Cluster
+
+__all__ = ["MdtestParams", "MdtestResult", "run_mdtest"]
+
+_PHASES = ("create", "stat", "remove")
+
+
+@dataclass(frozen=True)
+class MdtestParams:
+    """One mdtest run."""
+
+    processes_per_node: int = 4
+    files_per_process: int = 32
+    #: Bytes written per file (0 = pure metadata, like mdtest's default).
+    file_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.processes_per_node < 1:
+            raise ValueError("processes per node must be positive")
+        if self.files_per_process < 1:
+            raise ValueError("files per process must be positive")
+        if self.file_size < 0:
+            raise ValueError("file size must be non-negative")
+
+
+@dataclass
+class MdtestResult:
+    """Aggregate operation rates per phase (operations/second)."""
+
+    params: MdtestParams
+    n_processes: int
+    phase_times: Dict[str, float]
+
+    def rate(self, phase: str) -> float:
+        elapsed = self.phase_times[phase]
+        total_ops = self.n_processes * self.params.files_per_process
+        if elapsed <= 0.0:
+            raise ValueError(f"phase {phase!r} took no time")
+        return total_ops / elapsed
+
+    @property
+    def create_rate(self) -> float:
+        return self.rate("create")
+
+    @property
+    def stat_rate(self) -> float:
+        return self.rate("stat")
+
+    @property
+    def remove_rate(self) -> float:
+        return self.rate("remove")
+
+
+def _worker(
+    dfs: Dfs,
+    rank: int,
+    params: MdtestParams,
+    barriers: Dict[str, Barrier],
+    marks: Dict[str, List[float]],
+):
+    sim = dfs.client.sim
+    base = f"/mdtest.{rank}"
+    yield from dfs.mkdir(base)
+    paths = [f"{base}/file.{i}" for i in range(params.files_per_process)]
+    payloads = {
+        path: PatternPayload(params.file_size, seed=rank * 65536 + i)
+        for i, path in enumerate(paths)
+    }
+
+    yield barriers["start-create"].wait()
+    marks["create"].append(sim.now)
+    for path in paths:
+        yield from dfs.write_file(path, payloads[path])
+    yield barriers["end-create"].wait()
+    marks["create-end"].append(sim.now)
+
+    yield barriers["start-stat"].wait()
+    marks["stat"].append(sim.now)
+    for path in paths:
+        stat = yield from dfs.stat(path)
+        assert stat.size == params.file_size
+    yield barriers["end-stat"].wait()
+    marks["stat-end"].append(sim.now)
+
+    yield barriers["start-remove"].wait()
+    marks["remove"].append(sim.now)
+    for path in paths:
+        yield from dfs.unlink(path)
+    yield barriers["end-remove"].wait()
+    marks["remove-end"].append(sim.now)
+
+
+def run_mdtest(cluster: Cluster, system: DaosSystem, pool, params: MdtestParams) -> MdtestResult:
+    """Run the three mdtest phases on an assembled deployment."""
+    addresses = cluster.client_addresses(params.processes_per_node)
+    n = len(addresses)
+    barriers = {
+        name: Barrier(cluster.sim, n, name=f"mdtest:{name}")
+        for name in (
+            "start-create", "end-create", "start-stat", "end-stat",
+            "start-remove", "end-remove",
+        )
+    }
+    marks: Dict[str, List[float]] = {
+        key: [] for key in (
+            "create", "create-end", "stat", "stat-end", "remove", "remove-end",
+        )
+    }
+
+    mount_client = DaosClient(system, addresses[0])
+    cluster.sim.run(until=cluster.sim.process(Dfs.mount(mount_client, pool)))
+
+    processes = []
+    for rank, address in enumerate(addresses):
+        client = DaosClient(system, address)
+        dfs_process = cluster.sim.process(Dfs.mount(client, pool))
+        dfs = cluster.sim.run(until=dfs_process)
+        processes.append(
+            cluster.sim.process(
+                _worker(dfs, rank, params, barriers, marks),
+                name=f"mdtest:{rank}",
+            )
+        )
+    cluster.sim.run(until=cluster.sim.all_of(processes))
+
+    phase_times = {
+        phase: max(marks[f"{phase}-end"]) - min(marks[phase]) for phase in _PHASES
+    }
+    return MdtestResult(params=params, n_processes=n, phase_times=phase_times)

@@ -1,0 +1,105 @@
+"""Throughput definitions of §5.5.
+
+Two bandwidths are formalised by the paper:
+
+* **synchronous bandwidth** (eq. 1) — for synchronised benchmarks (IOR):
+  per iteration, the sum of I/O sizes across processes divided by the
+  *single iteration parallel I/O wall-clock time* (max ``io_end`` − min
+  ``io_start`` of that iteration), averaged over iterations.
+
+* **global timing bandwidth** (eq. 2) — for any benchmark: the sum of all
+  I/O sizes divided by the *total parallel I/O wall-clock time* (max
+  ``io_end`` of the last iteration − min ``io_start`` of the first, i.e.
+  the overall span).  The paper argues this measure better represents what
+  mixed workloads on a shared system actually experience (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.timestamps import TimestampLog
+from repro.units import GiB
+
+__all__ = [
+    "synchronous_bandwidth",
+    "global_timing_bandwidth",
+    "BandwidthSummary",
+    "summarise",
+]
+
+
+def synchronous_bandwidth(log: TimestampLog) -> float:
+    """Equation 1, in bytes/second.
+
+    Raises ``ValueError`` on an empty log or a zero-duration iteration
+    (which would indicate broken timestamps rather than fast I/O).
+    """
+    groups = log.by_iteration()
+    if not groups:
+        raise ValueError("cannot compute bandwidth of an empty log")
+    total = 0.0
+    for iteration, records in sorted(groups.items()):
+        start = min(r.io_start for r in records)
+        end = max(r.io_end for r in records)
+        wall = end - start
+        if wall <= 0.0:
+            raise ValueError(f"iteration {iteration} has non-positive wall time {wall}")
+        total += sum(r.size for r in records) / wall
+    return total / len(groups)
+
+
+def global_timing_bandwidth(log: TimestampLog) -> float:
+    """Equation 2, in bytes/second."""
+    start, end = log.span
+    wall = end - start
+    if wall <= 0.0:
+        raise ValueError(f"log spans non-positive wall time {wall}")
+    return log.total_bytes / wall
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """Both §5.5 bandwidths for the write and read portions of a run."""
+
+    write_sync: Optional[float]
+    read_sync: Optional[float]
+    write_global: Optional[float]
+    read_global: Optional[float]
+
+    @property
+    def aggregated_global(self) -> float:
+        """Write + read global timing bandwidth (the paper's "aggregated
+        bandwidth" for access pattern B, §6.3.1)."""
+        return (self.write_global or 0.0) + (self.read_global or 0.0)
+
+    def gib(self, name: str) -> float:
+        """A component in GiB/s (for report tables)."""
+        value = getattr(self, name)
+        return (value or 0.0) / GiB
+
+    def __str__(self) -> str:
+        parts = []
+        if self.write_global is not None:
+            parts.append(f"w={self.write_global / GiB:.2f}")
+        if self.read_global is not None:
+            parts.append(f"r={self.read_global / GiB:.2f}")
+        return f"<{' '.join(parts)} GiB/s>"
+
+
+def summarise(log: TimestampLog, synchronous: bool = False) -> BandwidthSummary:
+    """Compute the summary for a run log.
+
+    ``synchronous`` controls whether eq. 1 is meaningful for this benchmark
+    (it is for IOR; the Field I/O benchmark has no synchronised iterations,
+    §5.5).
+    """
+    writes = log.by_op("write")
+    reads = log.by_op("read")
+    return BandwidthSummary(
+        write_sync=synchronous_bandwidth(writes) if synchronous and len(writes) else None,
+        read_sync=synchronous_bandwidth(reads) if synchronous and len(reads) else None,
+        write_global=global_timing_bandwidth(writes) if len(writes) else None,
+        read_global=global_timing_bandwidth(reads) if len(reads) else None,
+    )

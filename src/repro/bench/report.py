@@ -1,0 +1,48 @@
+"""Plain-text table and series rendering for the experiment drivers.
+
+The drivers print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.units import GiB
+
+__all__ = ["format_table", "format_series", "gib"]
+
+
+def gib(bytes_per_sec: float) -> str:
+    """Bandwidth cell: GiB/s with two decimals."""
+    return f"{bytes_per_sec / GiB:.2f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = "GiB/s"
+) -> str:
+    """Render one figure series as ``name: x=y, x=y, ...``."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    points = ", ".join(f"{x}={y / GiB:.2f}" for x, y in zip(xs, ys))
+    return f"{name} [{unit}]: {points}"

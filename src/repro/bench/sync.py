@@ -1,0 +1,57 @@
+"""Process synchronisation for the benchmarks.
+
+IOR relies on MPI barriers to synchronise its phases (§5.1); :class:`Barrier`
+is the simulation equivalent: a reusable, generation-counted barrier that
+releases all waiters once the configured number have arrived.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.simulation.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.core import Simulator
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """A reusable n-party barrier.
+
+    Each process does ``yield barrier.wait()``; the nth arrival releases the
+    whole generation and the barrier resets for the next use.
+    """
+
+    def __init__(self, sim: "Simulator", parties: int, name: str = "") -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 parties, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._waiting: List[Event] = []
+        self.generation = 0
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Event that triggers when all parties have arrived."""
+        event = Event(self.sim, name=f"{self.name}:barrier{self.generation}")
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            generation = self.generation
+            waiters = self._waiting
+            self._waiting = []
+            self.generation += 1
+            for waiter in waiters:
+                waiter.succeed(generation)
+        return event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Barrier {self.name!r} {len(self._waiting)}/{self.parties} "
+            f"gen={self.generation}>"
+        )

@@ -1,0 +1,71 @@
+"""Command-line interface: ``repro-nwp`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run <experiment>`` — run one of the paper's experiments (table1, table2,
+  fig3..fig7) and print the regenerated table/series.
+* ``list`` — list available experiments.
+* ``all`` — run every experiment in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nwp",
+        description=(
+            "Reproduction of 'DAOS as HPC Storage: a View From Numerical "
+            "Weather Prediction' (IPPS 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_common(run_parser)
+
+    sub.add_parser("list", help="list available experiments")
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_common(all_parser)
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the full parameter grids of the paper (slow)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    scale = "paper" if args.paper_scale else "ci"
+    names = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        result = run_experiment(name, scale=scale, seed=args.seed)
+        print(result.render())
+        print(f"[{name}: {time.time() - start:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    sys.exit(main())

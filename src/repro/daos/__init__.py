@@ -1,0 +1,72 @@
+"""A functional + timed simulation of the DAOS object store (§3).
+
+The data model is implemented for real — pools, containers, Key-Value and
+Array objects with 128-bit OIDs, object classes with striping, deterministic
+placement over targets — so every byte written can be read back and checked.
+The *performance* behaviour comes from charging simulated time for RPCs,
+per-target service, object serialisation points and bulk data flows over the
+:mod:`repro.network` fabric.
+
+Entry points: build a :class:`~repro.daos.system.DaosSystem` over a
+:class:`~repro.hardware.topology.Cluster`, create a pool, then drive I/O
+through per-process :class:`~repro.daos.client.DaosClient` instances inside
+simulation processes.
+"""
+
+from repro.daos.errors import (
+    DaosError,
+    ContainerExistsError,
+    ContainerNotFoundError,
+    InvalidArgumentError,
+    NoSpaceError,
+    ObjectNotFoundError,
+    KeyNotFoundError,
+    SimulatedFaultError,
+)
+from repro.daos.payload import BytesPayload, PatternPayload, Payload
+from repro.daos.oid import ObjectId, OidAllocator
+from repro.daos.objclass import OC_S1, OC_S2, OC_S4, OC_SX, ObjectClass, object_class_by_name
+from repro.daos.placement import place_object, shard_layout
+from repro.daos.kv import KeyValueObject
+from repro.daos.array_object import ArrayObject
+from repro.daos.container import Container
+from repro.daos.pool import Pool
+from repro.daos.system import DaosSystem
+from repro.daos.client import DaosClient
+from repro.daos.dfs import Dfs, DfsStat
+from repro.daos.simple import DArray, DDict, SimpleDaos
+
+__all__ = [
+    "DaosError",
+    "ContainerExistsError",
+    "ContainerNotFoundError",
+    "InvalidArgumentError",
+    "NoSpaceError",
+    "ObjectNotFoundError",
+    "KeyNotFoundError",
+    "SimulatedFaultError",
+    "Payload",
+    "BytesPayload",
+    "PatternPayload",
+    "ObjectId",
+    "OidAllocator",
+    "ObjectClass",
+    "OC_S1",
+    "OC_S2",
+    "OC_S4",
+    "OC_SX",
+    "object_class_by_name",
+    "place_object",
+    "shard_layout",
+    "KeyValueObject",
+    "ArrayObject",
+    "Container",
+    "Pool",
+    "DaosSystem",
+    "DaosClient",
+    "Dfs",
+    "DfsStat",
+    "SimpleDaos",
+    "DDict",
+    "DArray",
+]

@@ -1,0 +1,484 @@
+"""The per-process DAOS client API.
+
+Every benchmark or application process owns a :class:`DaosClient` bound to
+its client socket address.  All operations are *generators* meant to be
+driven with ``yield from`` inside a simulation process; they charge provider
+RPC latency, per-target service time, object serialisation, and bulk data
+flows, then apply the functional state change and return the result.
+
+Connection/handle caching follows the paper (§5.2: "Pool and container
+connections in a process are cached"): repeated ``container_open`` calls for
+the same container are free after the first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid as uuid_module
+from typing import Dict, Optional, Tuple, Union
+
+from repro.daos.array_object import ArrayObject
+from repro.daos.container import Container
+from repro.daos.errors import InvalidArgumentError, KeyNotFoundError
+from repro.daos.kv import KeyValueObject
+from repro.daos.objclass import OC_S1, ObjectClass
+from repro.daos.oid import ObjectId
+from repro.daos.payload import BytesPayload, Payload
+from repro.daos.placement import shard_layout
+from repro.daos.pool import Pool
+from repro.daos.system import DaosSystem
+from repro.network.fabric import NodeSocket
+
+__all__ = ["DaosClient"]
+
+ContainerRef = Union[uuid_module.UUID, str]
+
+
+class DaosClient:
+    """A DAOS client bound to one simulated process.
+
+    Parameters
+    ----------
+    system:
+        The deployment to talk to.
+    address:
+        The client node/socket this process is pinned to; determines which
+        fabric links its traffic traverses.
+    """
+
+    def __init__(self, system: DaosSystem, address: NodeSocket) -> None:
+        self.system = system
+        self.address = address
+        self.sim = system.cluster.sim
+        self.net = system.cluster.net
+        self.fabric = system.cluster.fabric
+        self.provider = system.cluster.provider
+        self.config = system.config
+        self._container_cache: Dict[Tuple[str, str], Container] = {}
+        #: Statistics, useful to assert on op mixes in tests.
+        self.stats: Dict[str, int] = {}
+
+    # -- small helpers -----------------------------------------------------------
+    def _count(self, op: str) -> None:
+        self.stats[op] = self.stats.get(op, 0) + 1
+
+    def _latency(self):
+        """One-way small-message latency."""
+        return self.sim.timeout(self.provider.message_latency)
+
+    def _target_service(self, target_index: int, service_time: float):
+        """Occupy a slot at a target for ``service_time``."""
+        target = self.system.target(target_index)
+        request = target.service.request()
+        yield request
+        try:
+            yield self.sim.timeout(service_time)
+        finally:
+            target.service.release(request)
+
+    def _pool_service(self, service_time: float):
+        """Occupy the (serial) pool service for ``service_time``."""
+        request = self.system.pool_service.request()
+        yield request
+        try:
+            yield self.sim.timeout(service_time)
+        finally:
+            self.system.pool_service.release(request)
+
+    def _lead_target(self, obj) -> int:
+        return obj.layout[0]
+
+    def _key_target(self, kv: KeyValueObject, key: bytes) -> int:
+        """Target servicing a dkey: hashed over the object layout."""
+        digest = hashlib.sha256(key).digest()
+        index = int.from_bytes(digest[:4], "little") % len(kv.layout)
+        return kv.layout[index]
+
+    # -- pool / container operations -----------------------------------------------
+    def pool_connect(self, pool: Pool):
+        """Connect to a pool (handshake with the pool service)."""
+        self._count("pool_connect")
+        yield self._latency()
+        yield from self._pool_service(self.config.container_open_service_time)
+        yield self._latency()
+        return pool
+
+    def container_create(
+        self,
+        pool: Pool,
+        uuid: Optional[uuid_module.UUID] = None,
+        label: str = "",
+        is_default: bool = False,
+    ):
+        """Create a container; raises :class:`ContainerExistsError` on a race loss.
+
+        The existence check happens inside the pool-service critical
+        section, so md5-derived concurrent creates (§4) behave exactly like
+        the real collective: one creator wins, the rest see EXIST.
+        """
+        self._count("container_create")
+        yield self._latency()
+        request = self.system.pool_service.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.config.container_create_service_time)
+            container = pool.create_container(uuid=uuid, label=label, is_default=is_default)
+        finally:
+            self.system.pool_service.release(request)
+        yield self._latency()
+        self._container_cache[(pool.label, str(container.uuid))] = container
+        if label:
+            self._container_cache[(pool.label, label)] = container
+        return container
+
+    @staticmethod
+    def _cache_key(ref_or_container) -> str:
+        if isinstance(ref_or_container, Container):
+            return str(ref_or_container.uuid)
+        return str(ref_or_container)
+
+    def container_open(self, pool: Pool, ref: ContainerRef):
+        """Open a container by UUID or label, cached per client (§5.2)."""
+        cache_key = (pool.label, self._cache_key(ref))
+        cached = self._container_cache.get(cache_key)
+        if cached is not None:
+            self._count("container_open_cached")
+            return cached
+        self._count("container_open")
+        yield self._latency()
+        yield from self._pool_service(self.config.container_open_service_time)
+        container = pool.open_container(ref)
+        yield self._latency()
+        self._container_cache[cache_key] = container
+        # A container may be addressable by both label and uuid.
+        self._container_cache[(pool.label, str(container.uuid))] = container
+        return container
+
+    def container_exists(self, pool: Pool, ref: ContainerRef):
+        """Probe existence (a pool-service lookup)."""
+        self._count("container_exists")
+        yield self._latency()
+        yield from self._pool_service(self.config.rpc_service_time)
+        yield self._latency()
+        return pool.has_container(ref)
+
+    def _container_touch(self, container: Container):
+        """Pool-service touch charged for array ops in non-default containers.
+
+        This is the modelled cost of per-container metadata traffic; it is
+        what separates the paper's *full* mode from *no containers* (Fig 5;
+        DESIGN.md §5).
+        """
+        if container.is_default:
+            return
+        yield from self._pool_service(self.config.container_touch_service_time)
+
+    # -- KV operations ----------------------------------------------------------------
+    def kv_open(self, container: Container, oid: ObjectId, oclass: ObjectClass = OC_S1):
+        """Open (creating on first use) a KV object."""
+        self._count("kv_open")
+        kv = container.get_or_create_kv(oid, oclass)
+        if kv.lock is None:
+            self.system.register_object(kv, oclass, container_salt=container.uuid.int)
+        yield self._latency()
+        yield from self._target_service(self._lead_target(kv), self.config.rpc_service_time)
+        yield self._latency()
+        return kv
+
+    def kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
+        """Insert/overwrite a key.
+
+        Updates serialise at the object (exclusive hold for the put service
+        time), which is the mechanism behind the paper's shared-index-KV
+        contention (§5.2, Fig 4).
+        """
+        self._count("kv_put")
+        yield self._latency()
+        yield kv.lock.acquire_write()
+        try:
+            yield from self._target_service(
+                self._key_target(kv, key), self.config.kv_put_service_time
+            )
+            kv.put(key, value)
+        finally:
+            kv.lock.release_write()
+        yield self._latency()
+
+    def kv_get(self, kv: KeyValueObject, key: bytes):
+        """Look up a key; raises :class:`KeyNotFoundError` if absent."""
+        value = yield from self.kv_get_or_none(kv, key)
+        if value is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return value
+
+    def kv_get_or_none(self, kv: KeyValueObject, key: bytes):
+        """Look up a key, returning ``None`` when absent (Algorithm 1 probe).
+
+        Lookups hold the object's serialisation point for the (shorter) get
+        service time — VOS dkey-tree descent on a hot shared object is what
+        bends the Fig 4 read curves.
+        """
+        self._count("kv_get")
+        yield self._latency()
+        yield kv.lock.acquire_write()
+        try:
+            yield from self._target_service(
+                self._key_target(kv, key), self.config.kv_get_service_time
+            )
+            value = kv.get_or_none(key)
+        finally:
+            kv.lock.release_write()
+        yield self._latency()
+        return value
+
+    def kv_list(self, kv: KeyValueObject):
+        """Enumerate all keys (paged enumeration, one service charge per page)."""
+        self._count("kv_list")
+        page_size = 128
+        keys = list(kv.keys())
+        yield self._latency()
+        yield kv.lock.acquire_write()
+        try:
+            pages = max(1, -(-len(keys) // page_size))
+            yield from self._target_service(
+                self._lead_target(kv), self.config.kv_get_service_time * pages
+            )
+        finally:
+            kv.lock.release_write()
+        yield self._latency()
+        return keys
+
+    def kv_remove(self, kv: KeyValueObject, key: bytes):
+        """Remove a key (same serialisation as a put)."""
+        self._count("kv_remove")
+        yield self._latency()
+        yield kv.lock.acquire_write()
+        try:
+            yield from self._target_service(
+                self._key_target(kv, key), self.config.kv_put_service_time
+            )
+            kv.remove(key)
+        finally:
+            kv.lock.release_write()
+        yield self._latency()
+
+    # -- Array operations ---------------------------------------------------------------
+    def array_create(
+        self, container: Container, oclass: ObjectClass = OC_S1, oid: Optional[ObjectId] = None
+    ):
+        """Create a new array (fresh OID unless one is supplied)."""
+        self._count("array_create")
+        if oid is None:
+            oid = container.oid_allocator.allocate(oclass.class_id)
+        array = container.get_or_create_array(oid, oclass)
+        if array.lock is None:
+            self.system.register_object(array, oclass, container_salt=container.uuid.int)
+        yield self._latency()
+        yield from self._container_touch(container)
+        yield from self._target_service(
+            self._lead_target(array), self.config.array_create_service_time
+        )
+        yield self._latency()
+        return array
+
+    def array_open(self, container: Container, oid: ObjectId):
+        """Open an existing array; raises :class:`ObjectNotFoundError`."""
+        self._count("array_open")
+        array = container.get_object(oid)
+        if not isinstance(array, ArrayObject):
+            raise InvalidArgumentError(f"object {oid} is not an Array")
+        yield self._latency()
+        yield from self._container_touch(container)
+        yield from self._target_service(
+            self._lead_target(array), self.config.array_open_service_time
+        )
+        yield self._latency()
+        return array
+
+    def array_close(self, array: ArrayObject):
+        """Close an array handle (flush + release)."""
+        self._count("array_close")
+        yield from self._target_service(
+            self._lead_target(array), self.config.array_close_service_time
+        )
+        yield self._latency()
+
+    def array_get_size(self, array: ArrayObject):
+        """Query the array size (a lead-target RPC)."""
+        self._count("array_get_size")
+        yield self._latency()
+        yield from self._target_service(self._lead_target(array), self.config.rpc_service_time)
+        yield self._latency()
+        return array.size
+
+    def array_punch(
+        self, container: Container, array: ArrayObject, pool: Optional[Pool] = None
+    ):
+        """Punch (delete) an array, refunding its storage to the pool.
+
+        Refunds follow the shard layout of the stored bytes; per-target
+        amounts are clamped to what is actually charged there, so pool
+        accounting can never go negative even for arrays written through
+        several versions.
+        """
+        self._count("array_punch")
+        yield self._latency()
+        yield array.lock.acquire_write()
+        try:
+            yield from self._target_service(
+                self._lead_target(array), self.config.rpc_service_time
+            )
+            container.remove_object(array.oid)
+            if pool is not None and array.nbytes_stored > 0:
+                stripes = array.oclass.resolve_stripes(self.system.n_targets)
+                shards = shard_layout(
+                    array.nbytes_stored, stripes, self.config.stripe_cell_size
+                )
+                for shard_index, _offset, length in shards:
+                    for target in self._replica_targets(array, shard_index, write=True):
+                        pool.refund(target, min(length, pool.target_used(target)))
+        finally:
+            array.lock.release_write()
+        yield self._latency()
+
+    def array_set_size(self, array: ArrayObject, size: int, pool: Optional[Pool] = None):
+        """Truncate/extend the array to ``size`` bytes (lead-target RPC).
+
+        Truncation refunds the discarded bytes to the pool when one is given.
+        """
+        self._count("array_set_size")
+        yield self._latency()
+        yield array.lock.acquire_write()
+        try:
+            yield from self._target_service(
+                self._lead_target(array), self.config.rpc_service_time
+            )
+            before = array.nbytes_stored
+            array.truncate(size)
+            if pool is not None:
+                freed = before - array.nbytes_stored
+                if freed > 0:
+                    # Refund against the lead target: byte-accurate per-target
+                    # refunds would need extent placement history; the lead
+                    # target approximation keeps pool totals correct.
+                    pool.refund(self._lead_target(array), min(freed, pool.target_used(self._lead_target(array))))
+        finally:
+            array.lock.release_write()
+        yield self._latency()
+
+    def _shard_io(self, target_index: int, nbytes: int, write: bool):
+        """One shard: target service overhead, then the bulk flow."""
+        service = (
+            self.config.shard_write_overhead if write else self.config.shard_read_overhead
+        )
+        yield from self._target_service(target_index, service)
+        engine = self.system.engine_of_target(target_index)
+        if write:
+            path = self.fabric.write_path(self.address, engine)
+        else:
+            path = self.fabric.read_path(self.address, engine)
+        yield self.net.transfer(
+            path,
+            nbytes,
+            rate_cap=self.provider.per_flow_cap,
+            name=f"{'w' if write else 'r'}:{target_index}",
+        )
+
+    def _replica_targets(self, array: ArrayObject, shard_index: int, write: bool):
+        """Target(s) a shard touches: all replicas on write, one on read.
+
+        Reads pick the replica deterministically from the client address so
+        a population of clients spreads over the replica groups.
+        """
+        stripes = array.oclass.resolve_stripes(self.system.n_targets)
+        replicas = array.oclass.replicas
+        if write:
+            return [
+                array.layout[replica * stripes + shard_index]
+                for replica in range(replicas)
+            ]
+        chosen = (self.address.node + self.address.socket) % replicas
+        return [array.layout[chosen * stripes + shard_index]]
+
+    def _array_transfer(self, array: ArrayObject, offset: int, size: int, pool: Optional[Pool], write: bool):
+        """Move ``size`` bytes of an array: split into shards, run them in parallel.
+
+        The per-shard issue cost is serial at the client (libdaos builds and
+        posts one RPC per shard); the shard I/Os themselves proceed
+        concurrently.  Writes go to every replica of each shard; reads are
+        served by one replica.
+        """
+        stripes = array.oclass.resolve_stripes(self.system.n_targets)
+        shards = shard_layout(size, stripes, self.config.stripe_cell_size)
+        if pool is not None and write:
+            for shard_index, _shard_offset, length in shards:
+                for target in self._replica_targets(array, shard_index, write=True):
+                    pool.charge(target, length)
+        simple = len(shards) == 1 and array.oclass.replicas == 1
+        if simple:
+            yield self.sim.timeout(
+                self.config.shard_issue_write_time
+                if write
+                else self.config.shard_issue_read_time
+            )
+            shard_index, _, length = shards[0]
+            yield from self._shard_io(array.layout[shard_index], length, write)
+            return
+        if not write:
+            # Reads prepare one fetch descriptor per shard before any data
+            # moves (then reassemble); this up-front per-shard cost is what
+            # penalises wide striping for reads (Fig 6: S2 beats SX).
+            yield self.sim.timeout(len(shards) * self.config.shard_issue_read_time)
+        events = []
+        for shard_index, _shard_offset, length in shards:
+            if write:
+                # Writes scatter eagerly: issue cost pipelines with the
+                # transfers already in flight.
+                yield self.sim.timeout(self.config.shard_issue_write_time)
+            for target in self._replica_targets(array, shard_index, write):
+                proc = self.sim.process(
+                    self._shard_io(target, length, write),
+                    name=f"shard{shard_index}@{target}",
+                )
+                events.append(proc)
+        if events:
+            yield self.sim.all_of(events)
+
+    def array_write(
+        self,
+        array: ArrayObject,
+        offset: int,
+        payload: Payload,
+        pool: Optional[Pool] = None,
+    ):
+        """Write ``payload`` at ``offset``.
+
+        Holds the object's write lock for the duration of the transfer:
+        concurrent readers of the *same* array must wait, which is the
+        array-level contention the paper describes for the *no index* mode
+        under access pattern B (§5.3).
+        """
+        self._count("array_write")
+        if not isinstance(payload, Payload):
+            payload = BytesPayload(bytes(payload))
+        yield self._latency()
+        yield array.lock.acquire_write()
+        try:
+            yield from self._array_transfer(array, offset, payload.size, pool, write=True)
+            array.write(offset, payload)
+        finally:
+            array.lock.release_write()
+        yield self._latency()
+
+    def array_read(self, array: ArrayObject, offset: int, length: int):
+        """Read ``[offset, offset+length)``; concurrent reads share the lock."""
+        self._count("array_read")
+        yield self._latency()
+        yield array.lock.acquire_read()
+        try:
+            payload = array.read(offset, length)  # validate range before moving data
+            yield from self._array_transfer(array, offset, length, None, write=False)
+        finally:
+            array.lock.release_read()
+        yield self._latency()
+        return payload

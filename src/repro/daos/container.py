@@ -1,0 +1,99 @@
+"""DAOS containers: transactional object namespaces inside a pool (§3).
+
+A container owns a set of objects addressed by OID, an OID allocator, and an
+epoch counter.  Containers are created with a UUID; the Field I/O layer
+derives container UUIDs from md5 sums of field-key parts so concurrent
+creators converge on the same container (§4).
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from typing import Dict, Iterator, Union
+
+from repro.daos.array_object import ArrayObject
+from repro.daos.errors import InvalidArgumentError, ObjectNotFoundError
+from repro.daos.kv import KeyValueObject
+from repro.daos.objclass import ObjectClass
+from repro.daos.oid import ObjectId, OidAllocator
+
+__all__ = ["Container"]
+
+DaosObject = Union[KeyValueObject, ArrayObject]
+
+
+class Container:
+    """One container: an object namespace with its own transaction history."""
+
+    def __init__(self, uuid: uuid_module.UUID, label: str = "", is_default: bool = False):
+        self.uuid = uuid
+        self.label = label
+        #: The pool's default/root container: ops here skip the per-container
+        #: pool-service touch (see DaosServiceConfig.container_touch_service_time).
+        self.is_default = is_default
+        self.oid_allocator = OidAllocator()
+        self._objects: Dict[ObjectId, DaosObject] = {}
+        #: Highest committed epoch; bumped on every object mutation.
+        self.epoch = 0
+        self.open_handles = 0
+
+    # -- objects ---------------------------------------------------------------
+    def add_object(self, obj: DaosObject) -> DaosObject:
+        """Register a freshly created object; OID must be unused."""
+        if obj.oid in self._objects:
+            raise InvalidArgumentError(f"object {obj.oid} already exists in container")
+        self._objects[obj.oid] = obj
+        self.epoch += 1
+        return obj
+
+    def get_object(self, oid: ObjectId) -> DaosObject:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise ObjectNotFoundError(
+                f"object {oid} not found in container {self.uuid}"
+            ) from None
+
+    def get_or_create_kv(self, oid: ObjectId, oclass: ObjectClass) -> KeyValueObject:
+        """KV open-with-create semantics (DAOS KVs materialise on first use)."""
+        obj = self._objects.get(oid)
+        if obj is None:
+            obj = KeyValueObject(oid, oclass)
+            self.add_object(obj)
+        elif not isinstance(obj, KeyValueObject):
+            raise InvalidArgumentError(f"object {oid} exists but is not a KV")
+        return obj
+
+    def get_or_create_array(self, oid: ObjectId, oclass: ObjectClass) -> ArrayObject:
+        """Array open-with-create semantics."""
+        obj = self._objects.get(oid)
+        if obj is None:
+            obj = ArrayObject(oid, oclass)
+            self.add_object(obj)
+        elif not isinstance(obj, ArrayObject):
+            raise InvalidArgumentError(f"object {oid} exists but is not an Array")
+        return obj
+
+    def remove_object(self, oid: ObjectId) -> DaosObject:
+        """Drop an object from the namespace (punch); returns it."""
+        try:
+            obj = self._objects.pop(oid)
+        except KeyError:
+            raise ObjectNotFoundError(
+                f"object {oid} not found in container {self.uuid}"
+            ) from None
+        self.epoch += 1
+        return obj
+
+    def has_object(self, oid: ObjectId) -> bool:
+        return oid in self._objects
+
+    def objects(self) -> Iterator[DaosObject]:
+        return iter(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.label or str(self.uuid)[:8]
+        return f"<Container {tag} {len(self._objects)} objects epoch={self.epoch}>"

@@ -1,0 +1,255 @@
+"""DFS — the POSIX-like file system layer over DAOS objects.
+
+The paper motivates domain-agnostic object stores partly because they
+"enable implementation of high-performance user-facing tools, including
+... file system interfaces" (§2); DAOS ships one (libdfs).  This module
+reproduces its essential design: a container holds a filesystem whose
+directories are Key-Value objects mapping entry names to OIDs and whose
+files are Array objects.  All operations ride the timed
+:class:`~repro.daos.client.DaosClient`, so DFS workloads exercise exactly
+the same metadata and data paths as the weather-field store.
+
+Paths are POSIX-style absolute strings (``"/fc/t850.grib"``).  The layer is
+deliberately small — enough for the mdtest-style metadata benchmark and for
+applications that want a file-ish API over the simulated store.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.daos.client import DaosClient
+from repro.daos.container import Container
+from repro.daos.errors import DaosError, InvalidArgumentError
+from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
+from repro.daos.oid import ObjectId
+from repro.daos.payload import BytesPayload, Payload
+from repro.daos.pool import Pool
+
+__all__ = ["DfsError", "FileExistsDfsError", "FileNotFoundDfsError", "Dfs", "DfsStat"]
+
+#: Well-known OID of the root directory KV.
+ROOT_DIR_OID = ObjectId.from_user(0, 0xD15)
+#: Directory-entry value layout: kind byte + OID (hi, lo).
+_KIND_DIR = b"d"
+_KIND_FILE = b"f"
+
+
+class DfsError(DaosError):
+    """Base class for DFS failures."""
+
+
+class FileNotFoundDfsError(DfsError):
+    """Path component does not exist."""
+
+    code = -1005
+
+
+class FileExistsDfsError(DfsError):
+    """Entry already exists."""
+
+    code = -1004
+
+
+@dataclass(frozen=True)
+class DfsStat:
+    """Stat result: entry kind and size."""
+
+    path: str
+    is_dir: bool
+    size: int
+
+
+def _encode_entry(kind: bytes, oid: ObjectId) -> bytes:
+    return kind + oid.hi.to_bytes(8, "big") + oid.lo.to_bytes(8, "big")
+
+
+def _decode_entry(value: bytes) -> Tuple[bytes, ObjectId]:
+    if len(value) != 17 or value[:1] not in (_KIND_DIR, _KIND_FILE):
+        raise DfsError(f"corrupt directory entry of {len(value)} bytes")
+    return value[:1], ObjectId(
+        hi=int.from_bytes(value[1:9], "big"), lo=int.from_bytes(value[9:17], "big")
+    )
+
+
+def _split(path: str) -> List[str]:
+    normalised = posixpath.normpath(path)
+    if not normalised.startswith("/"):
+        raise InvalidArgumentError(f"DFS paths must be absolute, got {path!r}")
+    if normalised == "/":
+        return []
+    parts = normalised.lstrip("/").split("/")
+    if any(part in ("", ".", "..") for part in parts):
+        raise InvalidArgumentError(f"unsupported path component in {path!r}")
+    return parts
+
+
+class Dfs:
+    """A POSIX-flavoured filesystem in one DAOS container.
+
+    All methods are generators driven inside simulation processes, mirroring
+    the client they wrap.  Directory KVs stripe across all targets; file
+    arrays default to no striping (tunable per file via ``oclass``).
+    """
+
+    def __init__(
+        self,
+        client: DaosClient,
+        pool: Pool,
+        container: Container,
+        dir_oclass: ObjectClass = OC_SX,
+        file_oclass: ObjectClass = OC_S1,
+    ) -> None:
+        self.client = client
+        self.pool = pool
+        self.container = container
+        self.dir_oclass = dir_oclass
+        self.file_oclass = file_oclass
+
+    # -- bootstrap ---------------------------------------------------------------
+    @staticmethod
+    def mount(client: DaosClient, pool: Pool, label: str = "dfs"):
+        """Open (creating if needed) the filesystem container and root dir."""
+        from repro.daos.errors import ContainerExistsError
+
+        try:
+            container = yield from client.container_create(
+                pool, label=label, is_default=True
+            )
+        except ContainerExistsError:
+            container = yield from client.container_open(pool, label)
+        dfs = Dfs(client, pool, container)
+        yield from client.kv_open(container, ROOT_DIR_OID, dfs.dir_oclass)
+        return dfs
+
+    # -- internals ---------------------------------------------------------------
+    def _open_dir_kv(self, oid: ObjectId):
+        kv = yield from self.client.kv_open(self.container, oid, self.dir_oclass)
+        return kv
+
+    def _walk(self, parts: List[str]):
+        """Resolve a directory path to its KV; raises on missing components."""
+        kv = yield from self._open_dir_kv(ROOT_DIR_OID)
+        walked = []
+        for part in parts:
+            walked.append(part)
+            entry = yield from self.client.kv_get_or_none(kv, part.encode())
+            if entry is None:
+                raise FileNotFoundDfsError(f"no such directory: /{'/'.join(walked)}")
+            kind, oid = _decode_entry(entry)
+            if kind != _KIND_DIR:
+                raise DfsError(f"not a directory: /{'/'.join(walked)}")
+            kv = yield from self._open_dir_kv(oid)
+        return kv
+
+    def _parent_and_name(self, path: str):
+        parts = _split(path)
+        if not parts:
+            raise InvalidArgumentError("the root directory cannot be a target")
+        parent = yield from self._walk(parts[:-1])
+        return parent, parts[-1]
+
+    # -- directories --------------------------------------------------------------
+    def mkdir(self, path: str):
+        """Create a directory; parents must exist."""
+        parent, name = yield from self._parent_and_name(path)
+        existing = yield from self.client.kv_get_or_none(parent, name.encode())
+        if existing is not None:
+            raise FileExistsDfsError(f"entry exists: {path}")
+        oid = self.container.oid_allocator.allocate(self.dir_oclass.class_id)
+        yield from self.client.kv_open(self.container, oid, self.dir_oclass)
+        yield from self.client.kv_put(parent, name.encode(), _encode_entry(_KIND_DIR, oid))
+
+    def listdir(self, path: str = "/"):
+        """Entry names in a directory, sorted."""
+        kv = yield from self._walk(_split(path))
+        names = yield from self.client.kv_list(kv)
+        return sorted(name.decode() for name in names)
+
+    # -- files ---------------------------------------------------------------------
+    def write_file(self, path: str, data, oclass: Optional[ObjectClass] = None):
+        """Create or replace a file with ``data``."""
+        if not isinstance(data, Payload):
+            data = BytesPayload(bytes(data))
+        parent, name = yield from self._parent_and_name(path)
+        existing = yield from self.client.kv_get_or_none(parent, name.encode())
+        if existing is not None:
+            kind, oid = _decode_entry(existing)
+            if kind != _KIND_FILE:
+                raise FileExistsDfsError(f"directory exists at {path}")
+            array = self.container.get_object(oid)
+            if array.size > data.size:
+                yield from self.client.array_set_size(array, data.size, pool=self.pool)
+        else:
+            array = yield from self.client.array_create(
+                self.container, oclass or self.file_oclass
+            )
+            yield from self.client.kv_put(
+                parent, name.encode(), _encode_entry(_KIND_FILE, array.oid)
+            )
+        yield from self.client.array_write(array, 0, data, pool=self.pool)
+        yield from self.client.array_close(array)
+
+    def read_file(self, path: str):
+        """Read a whole file; raises if the path is missing or a directory."""
+        array = yield from self._resolve_file(path)
+        size = yield from self.client.array_get_size(array)
+        payload = yield from self.client.array_read(array, 0, size)
+        yield from self.client.array_close(array)
+        return payload
+
+    def _resolve_file(self, path: str):
+        parent, name = yield from self._parent_and_name(path)
+        entry = yield from self.client.kv_get_or_none(parent, name.encode())
+        if entry is None:
+            raise FileNotFoundDfsError(f"no such file: {path}")
+        kind, oid = _decode_entry(entry)
+        if kind != _KIND_FILE:
+            raise DfsError(f"is a directory: {path}")
+        array = yield from self.client.array_open(self.container, oid)
+        return array
+
+    # -- metadata --------------------------------------------------------------------
+    def stat(self, path: str):
+        """Stat an entry (root stats as a directory of size 0)."""
+        parts = _split(path)
+        if not parts:
+            return DfsStat(path="/", is_dir=True, size=0)
+        parent = yield from self._walk(parts[:-1])
+        entry = yield from self.client.kv_get_or_none(parent, parts[-1].encode())
+        if entry is None:
+            raise FileNotFoundDfsError(f"no such entry: {path}")
+        kind, oid = _decode_entry(entry)
+        if kind == _KIND_DIR:
+            return DfsStat(path=path, is_dir=True, size=0)
+        array = self.container.get_object(oid)
+        size = yield from self.client.array_get_size(array)
+        return DfsStat(path=path, is_dir=False, size=size)
+
+    def exists(self, path: str):
+        try:
+            yield from self.stat(path)
+        except FileNotFoundDfsError:
+            return False
+        return True
+
+    def unlink(self, path: str):
+        """Remove a file (punching its array) or an *empty* directory."""
+        parent, name = yield from self._parent_and_name(path)
+        entry = yield from self.client.kv_get_or_none(parent, name.encode())
+        if entry is None:
+            raise FileNotFoundDfsError(f"no such entry: {path}")
+        kind, oid = _decode_entry(entry)
+        if kind == _KIND_DIR:
+            kv = yield from self._open_dir_kv(oid)
+            names = yield from self.client.kv_list(kv)
+            if names:
+                raise DfsError(f"directory not empty: {path}")
+            self.container.remove_object(oid)
+        else:
+            if self.container.has_object(oid):
+                array = self.container.get_object(oid)
+                yield from self.client.array_punch(self.container, array, pool=self.pool)
+        yield from self.client.kv_remove(parent, name.encode())

@@ -1,0 +1,75 @@
+"""DAOS engines and targets: the server-side service model.
+
+An engine is the I/O process on one socket of a server node (§3); it manages
+``targets_per_engine`` targets, each serviced by a group of threads.  A
+:class:`Target` is modelled as a FIFO :class:`~repro.simulation.resources.Resource`
+with limited concurrency: metadata operations occupy a slot for their
+service time, so a hot target queues and the queueing delay is what the
+clients observe.  Bulk data bandwidth is *not* served through these slots —
+it rides the fluid-flow SCM/adapter links of the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import DaosServiceConfig
+from repro.network.fabric import NodeSocket
+from repro.simulation.core import Simulator
+from repro.simulation.resources import Resource
+
+__all__ = ["Target", "Engine"]
+
+
+class Target:
+    """One DAOS target: a service-thread group plus its share of SCM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        global_index: int,
+        engine_addr: NodeSocket,
+        local_index: int,
+        concurrency: int,
+    ) -> None:
+        self.global_index = global_index
+        self.engine_addr = engine_addr
+        self.local_index = local_index
+        self.service = Resource(
+            sim,
+            capacity=concurrency,
+            name=f"target{global_index}@{engine_addr.node}.{engine_addr.socket}",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Target {self.global_index} on engine {self.engine_addr}>"
+
+
+class Engine:
+    """One DAOS engine: the targets on one socket of a server node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        addr: NodeSocket,
+        first_target_index: int,
+        config: DaosServiceConfig,
+    ) -> None:
+        self.addr = addr
+        self.targets: List[Target] = [
+            Target(
+                sim,
+                global_index=first_target_index + i,
+                engine_addr=addr,
+                local_index=i,
+                concurrency=config.target_concurrency,
+            )
+            for i in range(config.targets_per_engine)
+        ]
+
+    @property
+    def n_targets(self) -> int:
+        return len(self.targets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine {self.addr} targets {self.targets[0].global_index}..{self.targets[-1].global_index}>"

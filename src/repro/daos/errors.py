@@ -1,0 +1,71 @@
+"""DAOS error hierarchy.
+
+Mirrors the DER_* error space of the real DAOS client library closely enough
+for the field I/O layer to make the same control-flow decisions (e.g. create
+races resolving via "already exists", lookups failing via "nonexistent").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DaosError",
+    "ContainerExistsError",
+    "ContainerNotFoundError",
+    "ObjectNotFoundError",
+    "KeyNotFoundError",
+    "NoSpaceError",
+    "InvalidArgumentError",
+    "SimulatedFaultError",
+]
+
+
+class DaosError(Exception):
+    """Base class for all simulated DAOS errors."""
+
+    #: Numeric code loosely mirroring DER_* values.
+    code: int = -1000
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(message or type(self).__doc__)
+
+
+class ContainerExistsError(DaosError):
+    """Container with this label/uuid already exists (DER_EXIST)."""
+
+    code = -1004
+
+
+class ContainerNotFoundError(DaosError):
+    """No such container (DER_NONEXIST)."""
+
+    code = -1005
+
+
+class ObjectNotFoundError(DaosError):
+    """No such object in the container (DER_NONEXIST)."""
+
+    code = -1005
+
+
+class KeyNotFoundError(DaosError):
+    """Key absent from Key-Value object (DER_NONEXIST)."""
+
+    code = -1005
+
+
+class NoSpaceError(DaosError):
+    """Pool out of SCM space (DER_NOSPACE)."""
+
+    code = -1007
+
+
+class InvalidArgumentError(DaosError):
+    """Malformed argument to a DAOS call (DER_INVAL)."""
+
+    code = -1003
+
+
+class SimulatedFaultError(DaosError):
+    """Injected fault reproducing an instability the paper reports (§7)."""
+
+    code = -1026

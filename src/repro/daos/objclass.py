@@ -1,0 +1,93 @@
+"""DAOS object classes: striping (and, as an extension, replication).
+
+The paper exercises three classes (§5.4): ``S1`` (no striping), ``S2``
+(striping across two targets) and ``SX`` (striping across all pool
+targets).  ``S4`` is included as it exists in DAOS and is useful for the
+striping ablation.  Replicated classes (``RP_2G1``-style) are modelled as a
+forward-looking extension: shards are written to ``replicas`` distinct
+target groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.daos.errors import InvalidArgumentError
+
+__all__ = [
+    "ObjectClass",
+    "OC_S1",
+    "OC_S2",
+    "OC_S4",
+    "OC_SX",
+    "OC_RP_2G1",
+    "object_class_by_name",
+    "object_class_by_id",
+]
+
+
+@dataclass(frozen=True)
+class ObjectClass:
+    """An object class: how an object spreads over pool targets.
+
+    ``stripe_count`` of ``None`` means "all targets in the pool" (the ``X``
+    classes).  ``replicas`` > 1 duplicates every shard on that many separate
+    targets.
+    """
+
+    name: str
+    class_id: int
+    stripe_count: Optional[int]
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stripe_count is not None and self.stripe_count < 1:
+            raise InvalidArgumentError(
+                f"stripe count must be >= 1 or None, got {self.stripe_count}"
+            )
+        if self.replicas < 1:
+            raise InvalidArgumentError(f"replicas must be >= 1, got {self.replicas}")
+
+    def resolve_stripes(self, n_targets: int) -> int:
+        """Number of stripe shards given a pool with ``n_targets`` targets."""
+        if n_targets < 1:
+            raise InvalidArgumentError(f"pool needs >= 1 target, got {n_targets}")
+        if self.stripe_count is None:
+            return n_targets
+        return min(self.stripe_count, n_targets)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+OC_S1 = ObjectClass("S1", class_id=1, stripe_count=1)
+OC_S2 = ObjectClass("S2", class_id=2, stripe_count=2)
+OC_S4 = ObjectClass("S4", class_id=4, stripe_count=4)
+OC_SX = ObjectClass("SX", class_id=31, stripe_count=None)
+#: Extension: 2-way replication, one shard per group (not used by the paper's
+#: benchmarks, available for durability experiments).
+OC_RP_2G1 = ObjectClass("RP_2G1", class_id=130, stripe_count=1, replicas=2)
+
+_BY_NAME: Dict[str, ObjectClass] = {
+    oc.name: oc for oc in (OC_S1, OC_S2, OC_S4, OC_SX, OC_RP_2G1)
+}
+_BY_ID: Dict[int, ObjectClass] = {oc.class_id: oc for oc in _BY_NAME.values()}
+
+
+def object_class_by_name(name: str) -> ObjectClass:
+    """Look up a class by name (``'S1'``, ``'S2'``, ``'SX'``, ...)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise InvalidArgumentError(
+            f"unknown object class {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def object_class_by_id(class_id: int) -> ObjectClass:
+    """Look up a class by its numeric id (as encoded in OIDs)."""
+    try:
+        return _BY_ID[class_id]
+    except KeyError:
+        raise InvalidArgumentError(f"unknown object class id {class_id}") from None

@@ -1,0 +1,133 @@
+"""Lazy data payloads.
+
+Benchmarks move hundreds of gibibytes of simulated data; materialising those
+bytes would dwarf the machine's memory for zero benefit.  A :class:`Payload`
+is a value object describing bytes: :class:`BytesPayload` holds them for
+real (used in functional tests and the examples), while
+:class:`PatternPayload` describes a deterministic pseudo-random pattern by
+``(size, seed)`` and can materialise any slice on demand.
+
+Payload equality is *content* equality: a ``BytesPayload`` equals a
+``PatternPayload`` that would materialise the same bytes, so verification
+code does not care which representation a benchmark used.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Payload", "BytesPayload", "PatternPayload"]
+
+
+class Payload(ABC):
+    """Immutable description of a byte string."""
+
+    __slots__ = ()
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Length in bytes."""
+
+    @abstractmethod
+    def slice(self, offset: int, length: int) -> "Payload":
+        """Payload for ``[offset, offset+length)``; bounds are validated."""
+
+    @abstractmethod
+    def to_bytes(self) -> bytes:
+        """Materialise the payload (may allocate ``size`` bytes)."""
+
+    def _check_bounds(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError(
+                f"slice [{offset}, {offset + length}) out of bounds for "
+                f"payload of {self.size} B"
+            )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Payload):
+            return NotImplemented
+        if self.size != other.size:
+            return False
+        return self.to_bytes() == other.to_bytes()
+
+    def __hash__(self) -> int:
+        return hash((self.size, self.to_bytes()))
+
+
+class BytesPayload(Payload):
+    """A payload backed by real bytes."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def slice(self, offset: int, length: int) -> "BytesPayload":
+        self._check_bounds(offset, length)
+        return BytesPayload(self._data[offset : offset + length])
+
+    def to_bytes(self) -> bytes:
+        return self._data
+
+    def __repr__(self) -> str:
+        preview = self._data[:16]
+        return f"<BytesPayload {self.size} B {preview!r}{'...' if self.size > 16 else ''}>"
+
+
+class PatternPayload(Payload):
+    """A payload of deterministic pseudo-random bytes, O(1) in memory.
+
+    The full pattern for ``(seed)`` is an infinite byte stream; an instance
+    is a window ``[origin, origin+size)`` into it, so slices remain
+    :class:`PatternPayload` without copying.
+    """
+
+    __slots__ = ("_size", "seed", "origin")
+
+    #: Pattern blocks are generated in chunks of this many bytes.
+    _BLOCK = 1 << 16
+
+    def __init__(self, size: int, seed: int, origin: int = 0) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if origin < 0:
+            raise ValueError(f"origin must be non-negative, got {origin}")
+        self._size = int(size)
+        self.seed = int(seed)
+        self.origin = int(origin)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def slice(self, offset: int, length: int) -> "PatternPayload":
+        self._check_bounds(offset, length)
+        return PatternPayload(length, self.seed, origin=self.origin + offset)
+
+    def to_bytes(self) -> bytes:
+        if self._size == 0:
+            return b""
+        first_block = self.origin // self._BLOCK
+        last_block = (self.origin + self._size - 1) // self._BLOCK
+        parts = []
+        for block in range(first_block, last_block + 1):
+            rng = np.random.Generator(
+                np.random.PCG64(np.random.SeedSequence(entropy=[self.seed, block]))
+            )
+            parts.append(rng.integers(0, 256, size=self._BLOCK, dtype=np.uint8))
+        stream = np.concatenate(parts)
+        start = self.origin - first_block * self._BLOCK
+        return stream[start : start + self._size].tobytes()
+
+    def __repr__(self) -> str:
+        return f"<PatternPayload {self.size} B seed={self.seed} origin={self.origin}>"

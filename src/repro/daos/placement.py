@@ -1,0 +1,131 @@
+"""Deterministic object placement over pool targets.
+
+Real DAOS places object shards with a pseudorandom algorithm seeded by the
+OID over the pool map.  We reproduce the properties that matter for the
+benchmarks: placement is a pure function of ``(oid, object class, pool
+size)``, shards of a striped object land on distinct targets, and the load
+spreads uniformly.  The hash is SHA-256-based so it is stable across Python
+processes and versions (``hash()`` is salted and unsuitable).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence, Tuple
+
+from repro.daos.objclass import ObjectClass
+from repro.daos.oid import ObjectId
+
+__all__ = ["placement_hash", "place_object", "shard_layout", "shard_for_offset"]
+
+
+def placement_hash(oid: ObjectId, salt: int = 0, container_salt: int = 0) -> int:
+    """Stable 64-bit hash of an OID.
+
+    ``salt`` separates replica groups; ``container_salt`` separates the
+    placement of identically-numbered OIDs living in *different* containers
+    (DAOS object placement hashes over the container handle's pool map view,
+    so two containers' first objects do not collide on a target).
+    """
+    digest = hashlib.sha256(
+        oid.hi.to_bytes(8, "little")
+        + oid.lo.to_bytes(8, "little")
+        + salt.to_bytes(4, "little")
+        + (container_salt & ((1 << 64) - 1)).to_bytes(8, "little")
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def place_object(
+    oid: ObjectId,
+    oclass: ObjectClass,
+    n_targets: int,
+    container_salt: int = 0,
+    n_groups: int = 1,
+) -> List[int]:
+    """Target indices for each shard of ``oid`` (length = stripes * replicas).
+
+    Placement follows DAOS's scheme for ``S``-class objects: each container
+    gets a hashed origin on the pool map, consecutive OIDs cycle round-robin
+    from it, and a striped object's shards occupy consecutive layout slots.
+    The cycling matters: objects allocated in sequence (IOR's
+    file-per-process arrays, a forecast's field arrays) spread evenly
+    instead of colliding binomially, which is what lets the hardware
+    saturate.  OIDs that are not sequential (md5-derived ones) still land
+    pseudo-uniformly because their user bits are uniform.
+
+    ``n_groups`` interleaves consecutive layout slots across target groups
+    (engines): slot v maps to target ``(v % groups) * (targets/groups) +
+    v // groups``, so sequential objects — and the shards of one striped
+    object — alternate engines the way the DAOS pool map distributes its
+    domains.  Replica groups start at independently hashed origins.
+    """
+    stripes = oclass.resolve_stripes(n_targets)
+    if n_groups < 1 or n_targets % n_groups != 0:
+        raise ValueError(
+            f"n_groups={n_groups} must be >= 1 and divide n_targets={n_targets}"
+        )
+    per_group = n_targets // n_groups
+    layout: List[int] = []
+    for replica in range(oclass.replicas):
+        origin = (
+            placement_hash(ObjectId(0, 0), salt=replica, container_salt=container_salt)
+            + oid.lo * stripes
+            + oid.user_hi
+        ) % n_targets
+        for shard in range(stripes):
+            slot = (origin + shard) % n_targets
+            layout.append((slot % n_groups) * per_group + slot // n_groups)
+    return layout
+
+
+def shard_layout(
+    size: int, stripes: int, cell_size: int
+) -> List[Tuple[int, int, int]]:
+    """Split a contiguous extent of ``size`` bytes over ``stripes`` shards.
+
+    Returns ``(shard_index, offset, length)`` triples covering ``[0, size)``:
+    data is distributed in round-robin cells of ``cell_size`` bytes, matching
+    DAOS array striping.  Lengths per shard are aggregated, since for the
+    fluid-flow model only the per-shard byte totals matter.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if stripes < 1:
+        raise ValueError(f"stripes must be >= 1, got {stripes}")
+    if cell_size < 1:
+        raise ValueError(f"cell size must be >= 1, got {cell_size}")
+    if size == 0:
+        return []
+    totals = [0] * stripes
+    first_offset = [None] * stripes
+    offset = 0
+    cell = 0
+    while offset < size:
+        length = min(cell_size, size - offset)
+        shard = cell % stripes
+        if first_offset[shard] is None:
+            first_offset[shard] = offset
+        totals[shard] += length
+        offset += length
+        cell += 1
+    return [
+        (shard, first_offset[shard], totals[shard])
+        for shard in range(stripes)
+        if totals[shard] > 0
+    ]
+
+
+def shard_for_offset(offset: int, stripes: int, cell_size: int) -> int:
+    """Shard index holding the byte at ``offset`` under round-robin cells."""
+    if offset < 0:
+        raise ValueError(f"offset must be non-negative, got {offset}")
+    return (offset // cell_size) % stripes
+
+
+def spread(values: Sequence[int], n_bins: int) -> List[int]:
+    """Histogram of ``values`` over ``n_bins`` bins (placement-balance tests)."""
+    counts = [0] * n_bins
+    for v in values:
+        counts[v] += 1
+    return counts

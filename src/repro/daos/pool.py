@@ -1,0 +1,145 @@
+"""DAOS pools: reserved storage spread over targets (§3).
+
+A pool spans every target of every deployed engine, tracks SCM space usage
+against the per-socket :class:`~repro.hardware.scm.ScmRegion` budgets, and
+owns the containers.  Container create/open is brokered by the pool service
+(a serial metadata authority) — the timing for that lives in the client;
+this class holds the state and enforces the invariants (unique labels and
+UUIDs, capacity).
+"""
+
+from __future__ import annotations
+
+import uuid as uuid_module
+from typing import Dict, List, Optional
+
+from repro.daos.container import Container
+from repro.daos.errors import (
+    ContainerExistsError,
+    ContainerNotFoundError,
+    NoSpaceError,
+)
+
+__all__ = ["Pool"]
+
+
+class Pool:
+    """A pool over ``n_targets`` targets with byte-accurate space accounting."""
+
+    def __init__(
+        self,
+        uuid: uuid_module.UUID,
+        label: str,
+        n_targets: int,
+        scm_bytes_per_target: int,
+    ) -> None:
+        if n_targets < 1:
+            raise ValueError(f"pool needs >= 1 target, got {n_targets}")
+        if scm_bytes_per_target <= 0:
+            raise ValueError("per-target SCM reservation must be positive")
+        self.uuid = uuid
+        self.label = label
+        self.n_targets = n_targets
+        self.scm_bytes_per_target = scm_bytes_per_target
+        self._used_per_target: List[int] = [0] * n_targets
+        self._containers_by_uuid: Dict[uuid_module.UUID, Container] = {}
+        self._containers_by_label: Dict[str, Container] = {}
+        self._container_counter = 0
+
+    # -- capacity ---------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.n_targets * self.scm_bytes_per_target
+
+    @property
+    def used(self) -> int:
+        return sum(self._used_per_target)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def target_used(self, target_index: int) -> int:
+        return self._used_per_target[target_index]
+
+    def charge(self, target_index: int, nbytes: int) -> None:
+        """Account ``nbytes`` written to a target; raises when full.
+
+        DAOS fails I/O when the *target* holding the shard is out of space,
+        not when the pool average is — uneven placement can surface
+        NoSpace early, which the capacity tests exercise.
+        """
+        if nbytes < 0:
+            raise ValueError(f"charge must be non-negative, got {nbytes}")
+        used = self._used_per_target[target_index]
+        if used + nbytes > self.scm_bytes_per_target:
+            raise NoSpaceError(
+                f"target {target_index} full: {used} + {nbytes} > "
+                f"{self.scm_bytes_per_target} B"
+            )
+        self._used_per_target[target_index] = used + nbytes
+
+    def refund(self, target_index: int, nbytes: int) -> None:
+        """Return space on a target (object punch / container destroy)."""
+        if nbytes < 0:
+            raise ValueError(f"refund must be non-negative, got {nbytes}")
+        if nbytes > self._used_per_target[target_index]:
+            raise ValueError("refunding more than is in use on target")
+        self._used_per_target[target_index] -= nbytes
+
+    # -- containers ---------------------------------------------------------------
+    def create_container(
+        self,
+        uuid: Optional[uuid_module.UUID] = None,
+        label: str = "",
+        is_default: bool = False,
+    ) -> Container:
+        """Create a container; raises :class:`ContainerExistsError` on clash.
+
+        Concurrent creators that derive the same UUID from an md5 of the key
+        (§4) race here: exactly one wins, the rest observe the error and
+        open the existing container instead.
+
+        Anonymous containers get UUIDs derived from the pool identity and a
+        counter, keeping whole simulation runs reproducible from the seed.
+        """
+        if uuid is None:
+            self._container_counter += 1
+            uuid = uuid_module.uuid5(
+                self.uuid, f"container/{self._container_counter}"
+            )
+        if uuid in self._containers_by_uuid:
+            raise ContainerExistsError(f"container {uuid} already exists")
+        if label and label in self._containers_by_label:
+            raise ContainerExistsError(f"container label {label!r} already exists")
+        container = Container(uuid, label=label, is_default=is_default)
+        self._containers_by_uuid[uuid] = container
+        if label:
+            self._containers_by_label[label] = container
+        return container
+
+    def open_container(self, ref) -> Container:
+        """Open by UUID or label; raises :class:`ContainerNotFoundError`."""
+        if isinstance(ref, uuid_module.UUID):
+            container = self._containers_by_uuid.get(ref)
+        else:
+            container = self._containers_by_label.get(str(ref))
+        if container is None:
+            raise ContainerNotFoundError(f"container {ref!r} not found")
+        container.open_handles += 1
+        return container
+
+    def has_container(self, ref) -> bool:
+        if isinstance(ref, uuid_module.UUID):
+            return ref in self._containers_by_uuid
+        return str(ref) in self._containers_by_label
+
+    @property
+    def n_containers(self) -> int:
+        return len(self._containers_by_uuid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Pool {self.label!r} {self.n_targets} targets, "
+            f"{self.used}/{self.capacity} B, {self.n_containers} containers>"
+        )

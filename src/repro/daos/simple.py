@@ -1,0 +1,126 @@
+"""A pydaos-flavoured blocking convenience API.
+
+Real DAOS ships ``pydaos``, whose containers expose dictionary-like Python
+objects (§2: object stores "enable implementation of ... programming
+language interfaces").  This module mirrors that ergonomics over the
+simulated stack: :class:`SimpleDaos` owns a deployment and hands out
+:class:`DDict` (KV-backed mapping) and :class:`DArray` (array-backed
+buffer) objects whose methods block by running the embedded simulator —
+no generators in sight, ideal for notebooks and small tools.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
+from repro.daos.payload import BytesPayload, Payload
+from repro.daos.system import DaosSystem
+from repro.hardware.topology import Cluster
+
+__all__ = ["SimpleDaos", "DDict", "DArray"]
+
+
+class SimpleDaos:
+    """A self-contained simulated DAOS deployment with blocking helpers."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, container: str = "pydaos"):
+        self.config = config or ClusterConfig()
+        self.cluster = Cluster(self.config)
+        self.system = DaosSystem(self.cluster)
+        self.pool = self.system.create_pool()
+        self.client = DaosClient(self.system, self.cluster.client_addresses(1)[0])
+        self.container = self._run(
+            self.client.container_create(self.pool, label=container, is_default=True)
+        )
+
+    def _run(self, generator):
+        process = self.cluster.sim.process(generator)
+        return self.cluster.sim.run(until=process)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds consumed so far."""
+        return self.cluster.sim.now
+
+    # -- factories -----------------------------------------------------------
+    def dict(self, oclass: ObjectClass = OC_SX) -> "DDict":
+        """A fresh dictionary object."""
+        oid = self.container.oid_allocator.allocate(oclass.class_id)
+        kv = self._run(self.client.kv_open(self.container, oid, oclass))
+        return DDict(self, kv)
+
+    def array(self, oclass: ObjectClass = OC_S1) -> "DArray":
+        """A fresh array object."""
+        array = self._run(self.client.array_create(self.container, oclass))
+        return DArray(self, array)
+
+
+class DDict:
+    """Mapping-style view of a DAOS KV object (keys and values are bytes)."""
+
+    def __init__(self, daos: SimpleDaos, kv) -> None:
+        self._daos = daos
+        self._kv = kv
+
+    def __setitem__(self, key: bytes, value: bytes) -> None:
+        self._daos._run(self._daos.client.kv_put(self._kv, key, value))
+
+    def __getitem__(self, key: bytes) -> bytes:
+        return self._daos._run(self._daos.client.kv_get(self._kv, key))
+
+    def get(self, key: bytes, default: Optional[bytes] = None) -> Optional[bytes]:
+        value = self._daos._run(self._daos.client.kv_get_or_none(self._kv, key))
+        return default if value is None else value
+
+    def __delitem__(self, key: bytes) -> None:
+        self._daos._run(self._daos.client.kv_remove(self._kv, key))
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> List[bytes]:
+        return self._daos._run(self._daos.client.kv_list(self._kv))
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._kv)
+
+
+class DArray:
+    """Byte-buffer view of a DAOS Array object."""
+
+    def __init__(self, daos: SimpleDaos, array) -> None:
+        self._daos = daos
+        self._array = array
+
+    @property
+    def oid(self):
+        return self._array.oid
+
+    def write(self, offset: int, data) -> None:
+        if not isinstance(data, Payload):
+            data = BytesPayload(bytes(data))
+        self._daos._run(
+            self._daos.client.array_write(
+                self._array, offset, data, pool=self._daos.pool
+            )
+        )
+
+    def read(self, offset: int, length: int) -> bytes:
+        payload = self._daos._run(
+            self._daos.client.array_read(self._array, offset, length)
+        )
+        return payload.to_bytes()
+
+    def size(self) -> int:
+        return self._daos._run(self._daos.client.array_get_size(self._array))
+
+    def truncate(self, size: int) -> None:
+        self._daos._run(
+            self._daos.client.array_set_size(self._array, size, pool=self._daos.pool)
+        )

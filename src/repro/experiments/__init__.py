@@ -1,0 +1,19 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run(scale, seed) -> ExperimentResult`` producing the
+same rows (tables) or series (figures) the paper reports, at either CI scale
+(reduced grids, same ratios) or paper scale.  The registry maps experiment
+ids to drivers for the CLI and the benchmark harness.
+"""
+
+from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "Series",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

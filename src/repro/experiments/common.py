@@ -1,0 +1,103 @@
+"""Shared experiment machinery: scales, results, rendering.
+
+Experiments run at two scales:
+
+* ``ci`` — reduced process counts, op counts and repetitions that keep the
+  full suite in CI time, while preserving the paper's *ratios* (client to
+  server nodes, skew to work, segment to object size), so the shapes of the
+  results are unchanged;
+* ``paper`` — the full grids of §5.4.
+
+An :class:`ExperimentResult` carries both tabular rows and figure series so
+the CLI can print it and tests/benches can assert on the shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.bench.report import format_series, format_table
+from repro.units import GiB
+
+__all__ = ["Scale", "Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Effort level of an experiment run."""
+
+    name: str
+
+    @property
+    def is_paper(self) -> bool:
+        return self.name == "paper"
+
+    @classmethod
+    def of(cls, name: str) -> "Scale":
+        if name not in ("ci", "paper"):
+            raise ValueError(f"unknown scale {name!r}; expected 'ci' or 'paper'")
+        return cls(name)
+
+
+@dataclass
+class Series:
+    """One figure series: name plus (x, bandwidth-in-bytes/s) points."""
+
+    name: str
+    xs: List[object]
+    ys: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(f"series {self.name!r}: mismatched xs/ys lengths")
+
+    def y_at(self, x: object) -> float:
+        """Bandwidth at a given x; raises if absent."""
+        try:
+            return self.ys[self.xs.index(x)]
+        except ValueError:
+            raise KeyError(f"series {self.name!r} has no point at x={x!r}") from None
+
+    @property
+    def ys_gib(self) -> List[float]:
+        return [y / GiB for y in self.ys]
+
+    def is_nondecreasing(self, tolerance: float = 0.05) -> bool:
+        """Whether the series rises (within a relative tolerance) point to point."""
+        for previous, current in zip(self.ys, self.ys[1:]):
+            if current < previous * (1.0 - tolerance):
+                return False
+        return True
+
+
+@dataclass
+class ExperimentResult:
+    """The rendered output of one experiment driver."""
+
+    experiment: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[object]] = field(default_factory=list)
+    series: List[Series] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_name(self, name: str) -> Series:
+        for series in self.series:
+            if series.name == name:
+                return series
+        raise KeyError(
+            f"no series {name!r} in {self.experiment}; have "
+            f"{[s.name for s in self.series]}"
+        )
+
+    def render(self) -> str:
+        """Human-readable report mirroring the paper's table/figure."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        for series in self.series:
+            parts.append(format_series(series.name, series.xs, series.ys))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,78 @@
+"""Fig 3 — IOR segments scaling with server nodes (access pattern A).
+
+Mean synchronous write/read bandwidth versus server-node count, for client
+node counts equal to and double the server count (the paper finds 2x client
+nodes generally performs best and shows near-linear scaling at ~2.5 GiB/s
+write, ~3.75 GiB/s read per engine, with a slight droop above 8 servers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.ior import IorParams, run_ior
+from repro.bench.runner import mean, run_repetitions
+from repro.config import ClusterConfig
+from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.units import MiB
+
+__all__ = ["run"]
+
+TITLE = "IOR segments: synchronous bandwidth vs server nodes (pattern A)"
+
+
+def _mean_best_ppn(
+    servers: int, clients: int, ppns: List[int], repetitions: int,
+    segments: int, seed: int,
+) -> Tuple[float, float]:
+    """Mean bandwidth across repetitions at the best-performing ppn (§6.2)."""
+    best: Dict[str, float] = {"write": 0.0, "read": 0.0}
+    for ppn in ppns:
+        config = ClusterConfig(
+            n_server_nodes=servers, n_client_nodes=clients, seed=seed
+        )
+        params = IorParams(
+            segment_size=1 * MiB, segments=segments, processes_per_node=ppn
+        )
+        results = run_repetitions(
+            config,
+            lambda cluster, system, pool: run_ior(cluster, system, pool, params),
+            repetitions=repetitions,
+        )
+        write = mean(r.summary.write_sync for r in results)
+        read = mean(r.summary.read_sync for r in results)
+        # "Best performing number of client processes" judged per direction,
+        # as the paper's per-panel selection does.
+        best["write"] = max(best["write"], write)
+        best["read"] = max(best["read"], read)
+    return best["write"], best["read"]
+
+
+def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+    if scale.is_paper:
+        server_counts = [1, 2, 4, 8, 10]
+        ppns, repetitions, segments = [24, 48, 72, 96], 5, 100
+    else:
+        server_counts = [1, 2, 4]
+        ppns, repetitions, segments = [8, 16], 2, 25
+
+    result = ExperimentResult(
+        experiment="fig3",
+        title=TITLE,
+    )
+    for ratio_name, ratio in (("1x clients", 1), ("2x clients", 2)):
+        writes: List[float] = []
+        reads: List[float] = []
+        for servers in server_counts:
+            write, read = _mean_best_ppn(
+                servers, servers * ratio, ppns, repetitions, segments, seed
+            )
+            writes.append(write)
+            reads.append(read)
+        result.series.append(Series(f"write {ratio_name}", list(server_counts), writes))
+        result.series.append(Series(f"read {ratio_name}", list(server_counts), reads))
+    result.notes.append(
+        "paper: ~2.5 GiB/s write and ~3.75 GiB/s read per additional engine "
+        "(2 engines per server node); 2x client nodes best; slight droop >8 servers"
+    )
+    return result

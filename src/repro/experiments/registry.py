@@ -1,0 +1,34 @@
+"""Registry mapping experiment ids to their drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments.common import ExperimentResult, Scale
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+
+EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+}
+
+
+def get_experiment(name: str) -> Callable[[Scale, int], ExperimentResult]:
+    try:
+        return EXPERIMENTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(name: str, scale: str = "ci", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id at the requested scale."""
+    return get_experiment(name)(Scale.of(scale), seed)

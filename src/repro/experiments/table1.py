@@ -1,0 +1,98 @@
+"""Table 1 — Access pattern A, IOR segments, one server node.
+
+Sweeps the engine/interface combinations of the table: (1 engine, 1 client
+interface), (1 engine, 2 client interfaces) and (2 engines, 2 interfaces),
+each against 1 and 2 client nodes.  Per the paper (§6.2), each combination
+runs for a range of processes-per-node, repeated, and the *maximum*
+synchronous bandwidth over all repetitions is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.bench.ior import IorParams, run_ior
+from repro.bench.runner import run_repetitions
+from repro.config import ClusterConfig
+from repro.experiments.common import ExperimentResult, Scale
+from repro.units import GiB, MiB
+
+__all__ = ["run"]
+
+TITLE = "Access Pattern A, IOR Segments, 1 Server Node"
+
+
+@dataclass(frozen=True)
+class _Combo:
+    engines: int
+    client_sockets: int
+    label_engines: str
+    label_ifaces: str
+
+
+_COMBOS = (
+    _Combo(1, 1, "1 (ib0)", "1 (ib0)"),
+    _Combo(1, 2, "1 (ib0)", "2"),
+    _Combo(2, 2, "2", "2"),
+)
+
+
+def _max_bandwidths(
+    combo: _Combo, client_nodes: int, ppns: List[int], repetitions: int,
+    segments: int, seed: int,
+) -> Tuple[float, float]:
+    """Maximum synchronous write/read bandwidth over ppn grid x repetitions."""
+    best_write = 0.0
+    best_read = 0.0
+    for ppn in ppns:
+        config = ClusterConfig(
+            n_server_nodes=1,
+            n_client_nodes=client_nodes,
+            engines_per_server=combo.engines,
+            client_sockets=combo.client_sockets,
+            seed=seed,
+        )
+        params = IorParams(
+            segment_size=1 * MiB, segments=segments, processes_per_node=ppn
+        )
+        results = run_repetitions(
+            config,
+            lambda cluster, system, pool: run_ior(cluster, system, pool, params),
+            repetitions=repetitions,
+        )
+        for result in results:
+            best_write = max(best_write, result.summary.write_sync or 0.0)
+            best_read = max(best_read, result.summary.read_sync or 0.0)
+    return best_write, best_read
+
+
+def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+    if scale.is_paper:
+        ppns, repetitions, segments = [24, 48, 72, 96], 9, 100
+    else:
+        ppns, repetitions, segments = [8, 16], 2, 25
+
+    result = ExperimentResult(
+        experiment="table1",
+        title=TITLE,
+        headers=[
+            "server nodes", "engines/server", "ifaces/client",
+            "1 client node (w/r GiB/s)", "2 client nodes (w/r GiB/s)",
+        ],
+    )
+    for combo in _COMBOS:
+        cells = []
+        for client_nodes in (1, 2):
+            write, read = _max_bandwidths(
+                combo, client_nodes, ppns, repetitions, segments, seed
+            )
+            cells.append(f"{write / GiB:.1f}w / {read / GiB:.1f}r")
+        result.rows.append(
+            [1, combo.label_engines, combo.label_ifaces, cells[0], cells[1]]
+        )
+    result.notes.append(
+        "paper row values: 3.0w/4.2r 2.6w/6.2r; 3.0w/7.4r 2.9w/7.7r; "
+        "5.5w/7.5r 5.5w/9.5r"
+    )
+    return result

@@ -1,0 +1,64 @@
+"""Table 2 — MPI test, process-to-process transfer bandwidth.
+
+For each (provider, process-pair count) of the table, sweep the transfer
+size and report the optimum and the bandwidth it achieves, exactly as the
+paper's MPI grounding test does (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.bench.mpi_p2p import sweep_transfer_sizes
+from repro.config import ClusterConfig, PSM2_PROVIDER, TCP_PROVIDER
+from repro.experiments.common import ExperimentResult, Scale
+from repro.units import GiB, MiB
+
+__all__ = ["run"]
+
+TITLE = "MPI test, process-to-process transfer bandwidth"
+
+#: (provider spec, process pairs, paper bandwidth GiB/s) rows of Table 2.
+_ROWS = (
+    (PSM2_PROVIDER, 1, 12.1),
+    (TCP_PROVIDER, 1, 3.1),
+    (TCP_PROVIDER, 2, 4.1),
+    (TCP_PROVIDER, 4, 6.9),
+    (TCP_PROVIDER, 8, 9.5),
+    (TCP_PROVIDER, 16, 9.0),
+)
+
+
+def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+    if scale.is_paper:
+        sizes = tuple(s * MiB for s in (1, 2, 4, 8, 16, 32))
+        messages = 64
+    else:
+        sizes = tuple(s * MiB for s in (1, 2, 8, 16))
+        messages = 16
+
+    result = ExperimentResult(
+        experiment="table2",
+        title=TITLE,
+        headers=[
+            "fabric provider", "process pairs", "multi-rail",
+            "optimal transfer size (MiB)", "bandwidth (GiB/s)", "paper (GiB/s)",
+        ],
+    )
+    for provider, pairs, paper_value in _ROWS:
+        config = ClusterConfig(
+            n_server_nodes=1, n_client_nodes=2, provider=provider,
+            client_sockets=1, seed=seed,
+        )
+        best_size, best_bw, _ = sweep_transfer_sizes(
+            config, pairs, sizes=sizes, messages=messages
+        )
+        result.rows.append(
+            [
+                provider.name.upper(),
+                pairs,
+                "No",
+                best_size // MiB,
+                f"{best_bw / GiB:.1f}",
+                f"{paper_value:.1f}",
+            ]
+        )
+    return result

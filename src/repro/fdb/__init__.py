@@ -1,0 +1,30 @@
+"""FDB5-style weather-field object store over DAOS (§4 of the paper).
+
+This is the paper's domain layer: field keys split into most-/least-
+significant parts, a main index Key-Value mapping forecasts to per-forecast
+index containers, per-forecast index KVs mapping fields to Array objects in
+store containers, and the three benchmark modes (*full*, *no containers*,
+*no index*).  :class:`~repro.fdb.fieldio.FieldIO` implements Algorithms 1
+and 2 verbatim over a :class:`~repro.daos.client.DaosClient`;
+:class:`~repro.fdb.store.FDB` is a blocking convenience facade for examples
+and applications.
+"""
+
+from repro.fdb.key import FieldKey
+from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema, SchemaError
+from repro.fdb.modes import FieldIOMode
+from repro.fdb.fieldio import FieldIO, FieldNotFoundError
+from repro.fdb.request import Request
+from repro.fdb.store import FDB
+
+__all__ = [
+    "FieldKey",
+    "KeySchema",
+    "SchemaError",
+    "DEFAULT_SCHEMA",
+    "FieldIOMode",
+    "FieldIO",
+    "FieldNotFoundError",
+    "Request",
+    "FDB",
+]

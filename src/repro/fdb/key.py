@@ -1,0 +1,116 @@
+"""Weather field keys.
+
+A field is uniquely identified by a set of key-value pairs (Fig 1 of the
+paper), e.g. ``{'class': 'od', 'date': '20201224', 'param': 't', 'step':
+'6', ...}``.  The key splits into a *most-significant* part identifying the
+forecast (model run) and a *least-significant* part identifying the field
+within the forecast; the split drives the two-level index layout of §4.
+
+Keys canonicalise to bytes for KV storage and md5-digest for container-id
+derivation; both encodings are order-independent (keys are sorted), so two
+processes building the same logical key always converge on identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid as uuid_module
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["FieldKey"]
+
+
+class FieldKey(Mapping[str, str]):
+    """An immutable mapping of key names to string values."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Mapping[str, str] | Iterable[Tuple[str, str]]) -> None:
+        items = dict(pairs)
+        for name, value in items.items():
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"key names must be non-empty strings, got {name!r}")
+            if not isinstance(value, str) or not value:
+                raise ValueError(
+                    f"key values must be non-empty strings, got {name}={value!r}"
+                )
+            if "=" in name or "," in name or "=" in value or "," in value:
+                raise ValueError(
+                    f"'=' and ',' are reserved in key components: {name}={value!r}"
+                )
+        self._pairs: Dict[str, str] = dict(sorted(items.items()))
+
+    # -- Mapping interface ------------------------------------------------------
+    def __getitem__(self, name: str) -> str:
+        return self._pairs[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._pairs.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldKey):
+            return self._pairs == other._pairs
+        if isinstance(other, Mapping):
+            return self._pairs == dict(other)
+        return NotImplemented
+
+    # -- derivation ----------------------------------------------------------------
+    def subset(self, names: Iterable[str]) -> "FieldKey":
+        """The sub-key holding only ``names`` (all must be present)."""
+        missing = [n for n in names if n not in self._pairs]
+        if missing:
+            raise KeyError(f"key lacks components {missing}; has {sorted(self._pairs)}")
+        return FieldKey({n: self._pairs[n] for n in names})
+
+    def merged(self, other: Mapping[str, str]) -> "FieldKey":
+        """A new key with ``other``'s pairs added/overriding."""
+        combined = dict(self._pairs)
+        combined.update(other)
+        return FieldKey(combined)
+
+    # -- encodings -------------------------------------------------------------------
+    def canonical(self) -> str:
+        """Canonical text form: sorted ``name=value`` pairs joined by commas."""
+        return ",".join(f"{k}={v}" for k, v in self._pairs.items())
+
+    def encode(self) -> bytes:
+        """Canonical bytes for use as a DAOS KV key."""
+        return self.canonical().encode("utf-8")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FieldKey":
+        """Inverse of :meth:`encode`."""
+        text = data.decode("utf-8")
+        if not text:
+            raise ValueError("cannot decode an empty key")
+        pairs = []
+        for part in text.split(","):
+            name, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"malformed key component {part!r}")
+            pairs.append((name, value))
+        return cls(pairs)
+
+    def md5(self) -> bytes:
+        """md5 digest of the canonical form (container-id derivation, §4)."""
+        return hashlib.md5(self.encode()).digest()
+
+    def container_uuid(self, role: str) -> uuid_module.UUID:
+        """Deterministic container UUID for this key and a role tag.
+
+        §4: "container IDs computed as md5 sums of the most-significant part
+        of the key so that any concurrent processes attempting creation of
+        the same pair of containers" converge.  The role tag separates the
+        forecast *index* container from the *store* container.
+        """
+        digest = hashlib.md5(self.encode() + b"/" + role.encode("utf-8")).digest()
+        return uuid_module.UUID(bytes=digest)
+
+    def __repr__(self) -> str:
+        return f"FieldKey({self.canonical()!r})"

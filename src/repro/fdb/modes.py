@@ -1,0 +1,41 @@
+"""The three Field I/O benchmark modes (§5.2).
+
+* ``FULL`` — the complete layout of §4: main KV in the main container,
+  per-forecast index KV and store containers.
+* ``NO_CONTAINERS`` — same indexing, but every object lives in the main
+  container (isolates the cost of the container layer).
+* ``NO_INDEX`` — no KV objects at all: field keys map to Array OIDs via
+  md5, arrays live in the main container (isolates the cost of indexing).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["FieldIOMode"]
+
+
+class FieldIOMode(Enum):
+    FULL = "full"
+    NO_CONTAINERS = "no_containers"
+    NO_INDEX = "no_index"
+
+    @property
+    def uses_containers(self) -> bool:
+        """Whether per-forecast containers are created and used."""
+        return self is FieldIOMode.FULL
+
+    @property
+    def uses_index(self) -> bool:
+        """Whether indexing Key-Values are maintained."""
+        return self is not FieldIOMode.NO_INDEX
+
+    @classmethod
+    def from_name(cls, name: str) -> "FieldIOMode":
+        try:
+            return cls(name.lower().replace("-", "_"))
+        except ValueError:
+            raise ValueError(
+                f"unknown Field I/O mode {name!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None

@@ -1,0 +1,92 @@
+"""MARS-style retrieval requests.
+
+ECMWF users address data through MARS requests — key names mapped to one or
+*several* values (``param=t/u, step=0/6``), denoting the cartesian product
+of fields.  :class:`Request` models that: it expands to the list of
+:class:`~repro.fdb.key.FieldKey` it covers, which the FDB facade can then
+retrieve in bulk.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.fdb.key import FieldKey
+from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema
+
+__all__ = ["Request"]
+
+ValueSpec = Union[str, Sequence[str]]
+
+
+class Request:
+    """A multi-valued field request: each component maps to >= 1 values."""
+
+    def __init__(self, spec: Mapping[str, ValueSpec]) -> None:
+        if not spec:
+            raise ValueError("a request needs at least one component")
+        normalised: Dict[str, Tuple[str, ...]] = {}
+        for name, values in spec.items():
+            if isinstance(values, str):
+                values = (values,)
+            values = tuple(str(v) for v in values)
+            if not values:
+                raise ValueError(f"component {name!r} has no values")
+            if len(set(values)) != len(values):
+                raise ValueError(f"component {name!r} has duplicate values")
+            normalised[name] = values
+        self._spec = dict(sorted(normalised.items()))
+
+    @classmethod
+    def parse(cls, text: str) -> "Request":
+        """Parse the MARS-ish shorthand ``"param=t/u,step=0/6"``."""
+        spec: Dict[str, Tuple[str, ...]] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, values = part.partition("=")
+            if not sep or not name.strip():
+                raise ValueError(f"malformed request component {part!r}")
+            spec[name.strip()] = tuple(v.strip() for v in values.split("/"))
+        if not spec:
+            raise ValueError(f"empty request {text!r}")
+        return cls(spec)
+
+    # -- inspection -------------------------------------------------------------
+    def components(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self._spec)
+
+    @property
+    def n_fields(self) -> int:
+        """Number of field keys this request expands to."""
+        count = 1
+        for values in self._spec.values():
+            count *= len(values)
+        return count
+
+    # -- expansion -------------------------------------------------------------
+    def expand(self, schema: KeySchema = DEFAULT_SCHEMA) -> List[FieldKey]:
+        """All field keys in the request, validated against ``schema``.
+
+        Expansion order is deterministic: components sorted by name, values
+        in the order given.
+        """
+        names = list(self._spec)
+        keys = [
+            FieldKey(dict(zip(names, combo)))
+            for combo in product(*(self._spec[n] for n in names))
+        ]
+        for key in keys:
+            schema.validate(key)
+        return keys
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return self._spec == other._spec
+
+    def __repr__(self) -> str:
+        parts = ",".join(f"{k}={'/'.join(v)}" for k, v in self._spec.items())
+        return f"Request({parts!r})"

@@ -1,0 +1,70 @@
+"""Key schemas: which components a field key must carry and how it splits.
+
+ECMWF's FDB5 is driven by a schema describing the index hierarchy; here a
+:class:`KeySchema` lists the *most-significant* components (identifying a
+forecast / model run — first index level) and the *least-significant*
+components (identifying a field within the forecast — second index level).
+:data:`DEFAULT_SCHEMA` mirrors the MARS-style keys the paper shows
+("'class': 'od', 'date': '20201224'", §4 / Fig 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.fdb.key import FieldKey
+
+__all__ = ["SchemaError", "KeySchema", "DEFAULT_SCHEMA"]
+
+
+class SchemaError(Exception):
+    """A field key does not conform to the schema."""
+
+
+@dataclass(frozen=True)
+class KeySchema:
+    """The split of field-key components across the two index levels."""
+
+    most_significant: Tuple[str, ...]
+    least_significant: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.most_significant or not self.least_significant:
+            raise ValueError("both schema levels need at least one component")
+        overlap = set(self.most_significant) & set(self.least_significant)
+        if overlap:
+            raise ValueError(f"components in both levels: {sorted(overlap)}")
+
+    @property
+    def all_components(self) -> Tuple[str, ...]:
+        return self.most_significant + self.least_significant
+
+    def validate(self, key: FieldKey) -> None:
+        """Raise :class:`SchemaError` unless ``key`` has every component."""
+        missing = [c for c in self.all_components if c not in key]
+        if missing:
+            raise SchemaError(
+                f"field key {key.canonical()!r} lacks components {missing}"
+            )
+        extra = [c for c in key if c not in self.all_components]
+        if extra:
+            raise SchemaError(
+                f"field key {key.canonical()!r} has unknown components {extra}"
+            )
+
+    def msk(self, key: FieldKey) -> FieldKey:
+        """The most-significant sub-key (forecast identity)."""
+        return key.subset(self.most_significant)
+
+    def lsk(self, key: FieldKey) -> FieldKey:
+        """The least-significant sub-key (field within the forecast)."""
+        return key.subset(self.least_significant)
+
+
+#: MARS-flavoured default: class/stream/expver/date/time identify the
+#: forecast; type/levtype/levelist/param/step identify the field.
+DEFAULT_SCHEMA = KeySchema(
+    most_significant=("class", "stream", "expver", "date", "time"),
+    least_significant=("type", "levtype", "levelist", "param", "step"),
+)

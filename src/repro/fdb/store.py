@@ -1,0 +1,122 @@
+"""Blocking FDB facade for applications and examples.
+
+:class:`FDB` wraps a whole simulated deployment (cluster, DAOS system, pool,
+bootstrap) behind the two-call API of Fig 1: ``archive(key, data)`` and
+``retrieve(key)``.  Each call runs the underlying generator to completion on
+the embedded simulator, so ordinary Python code can use the store without
+writing simulation processes.  Simulated time accumulates across calls and
+is readable via :attr:`elapsed`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
+from repro.daos.payload import BytesPayload, Payload
+from repro.daos.system import DaosSystem
+from repro.fdb.fieldio import FieldIO
+from repro.fdb.key import FieldKey
+from repro.fdb.modes import FieldIOMode
+from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema
+from repro.hardware.topology import Cluster
+
+__all__ = ["FDB"]
+
+
+class FDB:
+    """A self-contained weather-field object store.
+
+    Parameters
+    ----------
+    config:
+        Deployment to simulate (defaults to a single dual-engine server and
+        one client node).
+    mode, schema, kv_oclass, array_oclass:
+        Passed through to :class:`~repro.fdb.fieldio.FieldIO`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        mode: FieldIOMode = FieldIOMode.FULL,
+        schema: KeySchema = DEFAULT_SCHEMA,
+        kv_oclass: ObjectClass = OC_SX,
+        array_oclass: ObjectClass = OC_S1,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.cluster = Cluster(self.config)
+        self.system = DaosSystem(self.cluster)
+        self.pool = self.system.create_pool()
+        self.client = DaosClient(self.system, self.cluster.client_addresses(1)[0])
+        self.fieldio = FieldIO(
+            self.client,
+            self.pool,
+            mode=mode,
+            schema=schema,
+            kv_oclass=kv_oclass,
+            array_oclass=array_oclass,
+        )
+        self._run(FieldIO.bootstrap(self.client, self.pool))
+
+    # -- plumbing -------------------------------------------------------------
+    def _run(self, generator):
+        """Drive a client generator to completion on the embedded simulator."""
+        process = self.cluster.sim.process(generator)
+        return self.cluster.sim.run(until=process)
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds consumed by operations so far."""
+        return self.cluster.sim.now
+
+    # -- public API -------------------------------------------------------------
+    def archive(self, key: FieldKey | dict, data: bytes | Payload) -> None:
+        """Store a field under ``key`` (Fig 1 write semantics)."""
+        if not isinstance(key, FieldKey):
+            key = FieldKey(key)
+        if not isinstance(data, Payload):
+            data = BytesPayload(bytes(data))
+        self._run(self.fieldio.write(key, data))
+
+    def retrieve(self, key: FieldKey | dict) -> bytes:
+        """Fetch the field stored under ``key`` (Fig 1 read semantics)."""
+        if not isinstance(key, FieldKey):
+            key = FieldKey(key)
+        payload = self._run(self.fieldio.read(key))
+        return payload.to_bytes()
+
+    def exists(self, key: FieldKey | dict) -> bool:
+        """Whether a field is indexed under ``key``."""
+        if not isinstance(key, FieldKey):
+            key = FieldKey(key)
+        return self._run(self.fieldio.exists(key))
+
+    def list_fields(self, forecast_key: FieldKey | dict) -> List[FieldKey]:
+        """All field keys archived for a forecast (by most-significant key)."""
+        if not isinstance(forecast_key, FieldKey):
+            forecast_key = FieldKey(forecast_key)
+        return self._run(self.fieldio.list_fields(forecast_key))
+
+    def retrieve_request(self, request) -> dict:
+        """Expand a MARS-style :class:`~repro.fdb.request.Request` and fetch
+        every field it covers; returns ``{FieldKey: bytes}``."""
+        from repro.fdb.request import Request
+
+        if isinstance(request, (str, dict)):
+            request = (
+                Request.parse(request) if isinstance(request, str) else Request(request)
+            )
+        payloads = self._run(self.fieldio.read_request(request))
+        return {key: payload.to_bytes() for key, payload in payloads.items()}
+
+    def wipe(self, forecast_key: FieldKey | dict) -> int:
+        """Delete every field of a forecast; returns the number removed."""
+        if not isinstance(forecast_key, FieldKey):
+            forecast_key = FieldKey(forecast_key)
+        return self._run(self.fieldio.wipe(forecast_key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FDB mode={self.fieldio.mode.value} over {self.cluster!r}>"

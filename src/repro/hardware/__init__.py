@@ -1,0 +1,20 @@
+"""Hardware models: Storage Class Memory, nodes, and cluster assembly.
+
+The bandwidth behaviour of the hardware lives in the fabric/flow layer; this
+subpackage models the *stateful* aspects — SCM capacity accounting, socket
+layout and process pinning — and assembles whole simulated clusters.
+"""
+
+from repro.hardware.scm import OutOfSpaceError, ScmModule, ScmRegion
+from repro.hardware.node import Node, Socket, pin_processes
+from repro.hardware.topology import Cluster
+
+__all__ = [
+    "ScmModule",
+    "ScmRegion",
+    "OutOfSpaceError",
+    "Node",
+    "Socket",
+    "pin_processes",
+    "Cluster",
+]

@@ -1,0 +1,59 @@
+"""Node and socket layout, and the process pinning policy.
+
+The paper finds process pinning has "substantial impact in I/O performance"
+(§6.1.2): DAOS engines are pinned one per socket targeting the socket's own
+fabric interface, and client processes are "distributed in a balanced way
+across sockets".  :func:`pin_processes` implements that balanced policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.scm import ScmRegion
+
+__all__ = ["Socket", "Node", "pin_processes"]
+
+
+@dataclass
+class Socket:
+    """One socket of a dual-socket node: cores, an adapter slot, local SCM."""
+
+    index: int
+    scm: ScmRegion = field(default_factory=ScmRegion)
+
+
+@dataclass
+class Node:
+    """A NEXTGenIO-style node: ``n_sockets`` sockets, each with its own SCM."""
+
+    name: str
+    n_sockets: int = 2
+    sockets: List[Socket] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1:
+            raise ValueError("a node needs at least one socket")
+        if not self.sockets:
+            self.sockets = [Socket(i) for i in range(self.n_sockets)]
+        elif len(self.sockets) != self.n_sockets:
+            raise ValueError("sockets list does not match n_sockets")
+
+    @property
+    def total_scm(self) -> int:
+        return sum(s.scm.capacity for s in self.sockets)
+
+
+def pin_processes(n_processes: int, n_sockets: int) -> List[int]:
+    """Balanced round-robin pinning of processes to sockets.
+
+    Returns the socket index for each process rank, e.g. 5 processes over 2
+    sockets -> ``[0, 1, 0, 1, 0]``.  This mirrors the client-side pinning
+    policy the paper uses (§6.1.2).
+    """
+    if n_processes < 0:
+        raise ValueError(f"process count must be non-negative, got {n_processes}")
+    if n_sockets < 1:
+        raise ValueError(f"socket count must be positive, got {n_sockets}")
+    return [rank % n_sockets for rank in range(n_processes)]

@@ -1,0 +1,127 @@
+"""Storage Class Memory capacity model.
+
+NEXTGenIO sockets carry six 256 GiB Intel Optane DCPMMs configured in
+AppDirect *interleaved* mode (§6.1): the six modules appear as one region and
+allocations spread across them evenly.  This module does the capacity
+accounting for that arrangement; media *bandwidth* is modelled by the SCM
+links in :class:`~repro.network.fabric.Fabric`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["OutOfSpaceError", "ScmModule", "ScmRegion"]
+
+
+class OutOfSpaceError(Exception):
+    """Raised when an allocation exceeds the remaining SCM capacity."""
+
+
+class ScmModule:
+    """A single DCPMM device with byte-granular usage accounting."""
+
+    __slots__ = ("capacity", "used")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"module capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.used = 0
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"allocation must be non-negative, got {nbytes}")
+        if nbytes > self.free:
+            raise OutOfSpaceError(
+                f"requested {nbytes} B, only {self.free} B free on module"
+            )
+        self.used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"release must be non-negative, got {nbytes}")
+        if nbytes > self.used:
+            raise ValueError(f"releasing {nbytes} B but only {self.used} B in use")
+        self.used -= nbytes
+
+
+class ScmRegion:
+    """An interleaved set of modules behaving as one allocation region.
+
+    Interleaving spreads every allocation across all modules, so the region's
+    free space is simply the sum of the modules' free space and an allocation
+    fails only when the region as a whole is full.
+    """
+
+    def __init__(self, n_modules: int = 6, module_capacity: int = 256 * 1024**3):
+        if n_modules < 1:
+            raise ValueError("a region needs at least one module")
+        self.modules: List[ScmModule] = [
+            ScmModule(module_capacity) for _ in range(n_modules)
+        ]
+
+    @property
+    def capacity(self) -> int:
+        return sum(m.capacity for m in self.modules)
+
+    @property
+    def used(self) -> int:
+        return sum(m.used for m in self.modules)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` spread evenly (interleaved) across modules."""
+        if nbytes < 0:
+            raise ValueError(f"allocation must be non-negative, got {nbytes}")
+        if nbytes > self.free:
+            raise OutOfSpaceError(
+                f"requested {nbytes} B, only {self.free} B free in region"
+            )
+        n = len(self.modules)
+        base, extra = divmod(nbytes, n)
+        # Interleaving may leave modules unevenly full near capacity; spill
+        # any shortfall to modules that still have room.
+        shortfall = 0
+        for i, module in enumerate(self.modules):
+            want = base + (1 if i < extra else 0)
+            take = min(want, module.free)
+            module.allocate(take)
+            shortfall += want - take
+        if shortfall:
+            for module in self.modules:
+                take = min(shortfall, module.free)
+                module.allocate(take)
+                shortfall -= take
+                if shortfall == 0:
+                    break
+        assert shortfall == 0, "free-space check guaranteed success"
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` of space, drained evenly across modules."""
+        if nbytes < 0:
+            raise ValueError(f"release must be non-negative, got {nbytes}")
+        if nbytes > self.used:
+            raise ValueError(f"releasing {nbytes} B but only {self.used} B in use")
+        remaining = nbytes
+        # Even drain first (mirrors interleaved allocation), then mop up any
+        # remainder greedily.
+        even = remaining // len(self.modules)
+        for module in self.modules:
+            take = min(module.used, even)
+            module.release(take)
+            remaining -= take
+        for module in self.modules:
+            if remaining == 0:
+                break
+            take = min(module.used, remaining)
+            module.release(take)
+            remaining -= take
+        assert remaining == 0

@@ -1,0 +1,32 @@
+"""Network substrate: fluid-flow bandwidth sharing, fabric topology, providers.
+
+The paper's testbed is a dual-rail Intel OmniPath fabric driven through OFI's
+TCP or PSM2 providers.  We model data movement as *fluid flows* over a graph
+of capacity-limited links (adapters, switch ports, cross-socket hops) with
+max-min fair sharing — the standard abstraction for congestion-controlled
+transports — and put the provider-specific behaviour (per-stream rate caps,
+aggregate efficiency, message latency) in :mod:`repro.network.provider`.
+"""
+
+from repro.network.flow import Flow, FlowNetwork, Link
+from repro.network.provider import (
+    PSM2Provider,
+    Provider,
+    TCPProvider,
+    provider_from_name,
+)
+from repro.network.fabric import Adapter, Fabric, FabricPort, NodeSocket
+
+__all__ = [
+    "Flow",
+    "FlowNetwork",
+    "Link",
+    "Provider",
+    "TCPProvider",
+    "PSM2Provider",
+    "provider_from_name",
+    "Fabric",
+    "Adapter",
+    "FabricPort",
+    "NodeSocket",
+]

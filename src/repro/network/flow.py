@@ -1,0 +1,330 @@
+"""Max-min fair fluid-flow bandwidth sharing.
+
+Every bulk data movement in the simulation is a :class:`Flow` across a path
+of :class:`Link` objects.  Concurrent flows share link capacity according to
+*max-min fairness* computed by progressive filling (water-filling), the
+classical model of how congestion-controlled transports divide a network.
+Per-flow rate caps model single-stream transport limits (e.g. a single OFI
+TCP stream saturating at ~3.1 GiB/s regardless of link capacity).
+
+Whenever a flow starts or finishes, rates are recomputed and every active
+flow's completion time is rescheduled.  Between recomputations rates are
+constant, so progress is exact (no per-packet events), which keeps the event
+count proportional to the number of transfers rather than the number of
+bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import count
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.core import Simulator
+from repro.simulation.events import Event
+
+__all__ = ["Link", "Flow", "FlowNetwork"]
+
+#: Flows with fewer remaining bytes than this are considered complete.
+#: Well below one byte, comfortably above double-precision noise for the
+#: byte counts (<= 2**50) and rates used here.
+_EPSILON_BYTES = 1e-3
+
+
+class Link:
+    """A unidirectional capacity-limited network element.
+
+    ``capacity`` is in bytes/second.  A link knows the set of flows currently
+    crossing it; the :class:`FlowNetwork` updates this set and uses it during
+    rate computation.
+
+    ``capacity_fn``, if given, makes the capacity depend on the number of
+    concurrent flows: ``effective = min(capacity, capacity_fn(n_flows))``.
+    This models transports whose aggregate throughput varies with stream
+    count (e.g. kernel TCP over a fast fabric, Table 2 of the paper).
+    """
+
+    __slots__ = ("name", "capacity", "capacity_fn", "flows")
+
+    def __init__(self, name: str, capacity: float, capacity_fn=None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"link capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = float(capacity)
+        self.capacity_fn = capacity_fn
+        # Insertion-ordered (dict-as-ordered-set): deterministic iteration
+        # keeps rate computation and tie-breaking reproducible run to run.
+        self.flows: Dict["Flow", None] = {}
+
+    def effective_capacity(self, n_flows: Optional[int] = None) -> float:
+        """Capacity given ``n_flows`` concurrent streams (default: current)."""
+        if n_flows is None:
+            n_flows = len(self.flows)
+        if self.capacity_fn is None:
+            return self.capacity
+        return min(self.capacity, float(self.capacity_fn(n_flows)))
+
+    @property
+    def utilisation(self) -> float:
+        """Instantaneous utilisation in [0, 1] given current flow rates.
+
+        A flow listing this link more than once (write amplification)
+        consumes capacity per occurrence, and is counted accordingly.
+        """
+        if not self.flows:
+            return 0.0
+        consumed = sum(f.rate * f.path.count(self) for f in self.flows)
+        return min(1.0, consumed / self.effective_capacity())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name!r} cap={self.capacity:.3g} B/s {len(self.flows)} flows>"
+
+
+class Flow:
+    """One in-flight bulk transfer.
+
+    Attributes of interest once finished: ``start_time``, ``end_time`` and
+    ``mean_rate`` (bytes/second averaged over the flow's lifetime).
+    """
+
+    __slots__ = (
+        "fid",
+        "name",
+        "path",
+        "size",
+        "remaining",
+        "rate",
+        "rate_cap",
+        "start_time",
+        "end_time",
+        "done",
+    )
+
+    def __init__(
+        self,
+        fid: int,
+        path: Tuple[Link, ...],
+        size: float,
+        rate_cap: float,
+        done: Event,
+        name: str = "",
+    ) -> None:
+        self.fid = fid
+        self.name = name
+        self.path = path
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.rate_cap = float(rate_cap)
+        self.start_time: float = math.nan
+        self.end_time: Optional[float] = None
+        self.done = done
+
+    @property
+    def mean_rate(self) -> float:
+        """Average transfer rate over the flow lifetime (bytes/second)."""
+        if self.end_time is None:
+            raise RuntimeError("flow has not finished")
+        elapsed = self.end_time - self.start_time
+        if elapsed <= 0.0:
+            return math.inf
+        return self.size / elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Flow #{self.fid} {self.name!r} {self.remaining:.0f}/{self.size:.0f} B "
+            f"@ {self.rate:.3g} B/s>"
+        )
+
+
+class FlowNetwork:
+    """Tracks active flows over a set of links and advances them in time.
+
+    One instance serves the whole simulated cluster.  Links are created via
+    :meth:`add_link`; transfers are started with :meth:`transfer`, which
+    returns an event that succeeds (with the finished :class:`Flow`) once
+    the last byte has moved.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.links: Dict[str, Link] = {}
+        self._active: Dict[Flow, None] = {}
+        self._fid = count()
+        self._last_advance: float = sim.now
+        #: Generation counter so that stale completion wake-ups are ignored.
+        self._wake_generation = 0
+        #: Whether a same-instant recompute is already queued.  Bursts of
+        #: arrivals at one timestamp (every process leaving a barrier at
+        #: once) would otherwise trigger one full max-min recomputation per
+        #: arrival — O(flows^2) work for nothing, since no time passes
+        #: between them.  Coalescing them into a single deferred recompute
+        #: keeps paper-scale runs (thousands of concurrent flows) tractable.
+        self._recompute_pending = False
+        #: Statistics: total completed flows and bytes moved.
+        self.completed_flows = 0
+        self.completed_bytes = 0.0
+
+    # -- topology ------------------------------------------------------------
+    def add_link(self, name: str, capacity: float, capacity_fn=None) -> Link:
+        """Create and register a link; names must be unique."""
+        if name in self.links:
+            raise ValueError(f"duplicate link name {name!r}")
+        link = Link(name, capacity, capacity_fn=capacity_fn)
+        self.links[name] = link
+        return link
+
+    # -- transfers -----------------------------------------------------------
+    def transfer(
+        self,
+        path: Sequence[Link],
+        nbytes: float,
+        rate_cap: float = math.inf,
+        name: str = "",
+    ) -> Event:
+        """Start a flow of ``nbytes`` along ``path``.
+
+        Returns an event that succeeds with the :class:`Flow` when the
+        transfer completes.  Zero-byte transfers complete on the next
+        simulator step without touching the links.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes}")
+        if rate_cap <= 0:
+            raise ValueError(f"rate cap must be positive, got {rate_cap}")
+        done = self.sim.event(name=f"flow:{name}")
+        flow = Flow(next(self._fid), tuple(path), nbytes, rate_cap, done, name=name)
+        flow.start_time = self.sim.now
+        if nbytes == 0:
+            flow.end_time = self.sim.now
+            done.succeed(flow)
+            return done
+        if not flow.path and not math.isfinite(rate_cap):
+            raise ValueError("a flow needs a non-empty path or a finite rate cap")
+        self._advance_to_now()
+        self._active[flow] = None
+        for link in flow.path:
+            link.flows[flow] = None
+        self._schedule_recompute()
+        return done
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently in flight."""
+        return len(self._active)
+
+    # -- internals -----------------------------------------------------------
+    def _schedule_recompute(self) -> None:
+        """Queue a rate recomputation for this instant (coalesced)."""
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        event = self.sim.timeout(0.0, name="flownet:recompute")
+        event.add_callback(self._deferred_recompute)
+
+    def _deferred_recompute(self, _event: Event) -> None:
+        self._recompute_pending = False
+        self._advance_to_now()  # no-op: zero time has passed
+        self._recompute_and_reschedule()
+
+    def _advance_to_now(self) -> None:
+        """Debit progress on all active flows since the last recompute."""
+        now = self.sim.now
+        elapsed = now - self._last_advance
+        if elapsed > 0.0:
+            for flow in self._active:
+                flow.remaining -= flow.rate * elapsed
+        self._last_advance = now
+
+    def _recompute_and_reschedule(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        self._compute_rates()
+        self._wake_generation += 1
+        generation = self._wake_generation
+        next_dt = self._next_completion_delay()
+        if next_dt is None:
+            return
+        wake = self.sim.timeout(next_dt, name="flownet:wake")
+        wake.add_callback(lambda _evt: self._on_wake(generation))
+
+    def _next_completion_delay(self) -> Optional[float]:
+        """Time until the earliest active flow finishes, or None if idle."""
+        best: Optional[float] = None
+        for flow in self._active:
+            if flow.rate <= 0.0:  # pragma: no cover - defensive; rates > 0 always
+                continue
+            dt = flow.remaining / flow.rate
+            if best is None or dt < best:
+                best = dt
+        if best is None:
+            return None
+        return max(best, 0.0)
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # a newer recompute superseded this wake-up
+        self._advance_to_now()
+        finished = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
+        if not finished:  # pragma: no cover - defensive
+            self._recompute_and_reschedule()
+            return
+        for flow in finished:
+            self._active.pop(flow, None)
+            for link in flow.path:
+                link.flows.pop(flow, None)
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            flow.end_time = self.sim.now
+            self.completed_flows += 1
+            self.completed_bytes += flow.size
+        # Defer the recompute: completions resume processes that often start
+        # replacement flows at this same instant, and one recomputation can
+        # serve the whole batch.
+        self._schedule_recompute()
+        for flow in finished:
+            flow.done.succeed(flow)
+
+    def _compute_rates(self) -> None:
+        """Progressive-filling max-min fair allocation with per-flow caps.
+
+        Repeatedly: compute each link's fair share among its unfixed flows;
+        each unfixed flow's bound is the minimum of its links' fair shares
+        and its own cap; fix every flow whose bound equals the global
+        minimum bound; subtract fixed rates from link capacities.  This is
+        the textbook water-filling algorithm, O(iterations * flows * path).
+        """
+        unfixed = dict(self._active)
+        if not unfixed:
+            return
+        cap_left: Dict[Link, float] = {}
+        nflows: Dict[Link, int] = {}
+        for flow in unfixed:
+            for link in flow.path:
+                if link not in cap_left:
+                    cap_left[link] = link.effective_capacity(len(link.flows))
+                    nflows[link] = 0
+                nflows[link] += 1
+
+        while unfixed:
+            # Bound for each unfixed flow.
+            bounds: List[Tuple[float, Flow]] = []
+            minimum = math.inf
+            for flow in unfixed:
+                bound = flow.rate_cap
+                for link in flow.path:
+                    share = cap_left[link] / nflows[link]
+                    if share < bound:
+                        bound = share
+                bounds.append((bound, flow))
+                if bound < minimum:
+                    minimum = bound
+            if not math.isfinite(minimum):  # pragma: no cover - guarded in transfer()
+                raise AssertionError("unbounded flow rate: no cap and empty path")
+            threshold = minimum * (1.0 + 1e-12)
+            newly_fixed = [flow for bound, flow in bounds if bound <= threshold]
+            for flow in newly_fixed:
+                flow.rate = minimum
+                unfixed.pop(flow, None)
+                for link in flow.path:
+                    cap_left[link] = max(cap_left[link] - minimum, 0.0)
+                    nflows[link] -= 1

@@ -1,0 +1,93 @@
+"""OFI fabric provider behaviour (TCP vs PSM2).
+
+A :class:`Provider` turns the static :class:`~repro.config.ProviderSpec`
+calibration into the pieces the simulation needs:
+
+* per-flow rate caps and adapter aggregate-capacity functions for the fluid
+  flow model, and
+* message/RPC latencies for the metadata paths.
+
+``TCPProvider`` reproduces the kernel-socket behaviour the paper measured in
+Table 2 (single stream ~3.1 GiB/s, aggregate saturating near 9.5 GiB/s with
+a slight droop past 8 streams).  ``PSM2Provider`` models RDMA: a single
+stream approaches line rate and latency is an order of magnitude lower.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import PSM2_PROVIDER, TCP_PROVIDER, ProviderSpec
+
+__all__ = ["Provider", "TCPProvider", "PSM2Provider", "provider_from_name"]
+
+
+class Provider:
+    """Runtime view of a fabric provider specification."""
+
+    def __init__(self, spec: ProviderSpec) -> None:
+        self.spec = spec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def per_flow_cap(self) -> float:
+        """Max single-stream rate in bytes/second."""
+        return self.spec.per_flow_cap
+
+    @property
+    def message_latency(self) -> float:
+        """One-way small-message latency in seconds."""
+        return self.spec.message_latency
+
+    def rpc_latency(self) -> float:
+        """Round-trip latency of a small request/response exchange."""
+        return 2.0 * self.spec.message_latency
+
+    def adapter_capacity_fn(self) -> Callable[[int], float]:
+        """Aggregate-capacity function for an adapter under this provider."""
+        spec = self.spec
+        return spec.adapter_capacity
+
+    @property
+    def engine_tx_cap(self) -> float:
+        """Server-engine send-side processing ceiling (bytes/s)."""
+        return self.spec.engine_tx_cap
+
+    @property
+    def engine_rx_cap(self) -> float:
+        """Server-engine receive-side processing ceiling (bytes/s)."""
+        return self.spec.engine_rx_cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Provider {self.name}>"
+
+
+class TCPProvider(Provider):
+    """OFI sockets/TCP provider (the paper's default; §6.1.1)."""
+
+    def __init__(self, spec: ProviderSpec = TCP_PROVIDER) -> None:
+        if spec.name != "tcp":
+            raise ValueError(f"TCPProvider needs a tcp spec, got {spec.name!r}")
+        super().__init__(spec)
+
+
+class PSM2Provider(Provider):
+    """OFI PSM2 provider (RDMA over OmniPath; single-rail only, §6.4)."""
+
+    def __init__(self, spec: ProviderSpec = PSM2_PROVIDER) -> None:
+        if spec.name != "psm2":
+            raise ValueError(f"PSM2Provider needs a psm2 spec, got {spec.name!r}")
+        super().__init__(spec)
+
+
+def provider_from_name(name: str) -> Provider:
+    """Build the provider for ``'tcp'`` or ``'psm2'``."""
+    lowered = name.lower()
+    if lowered == "tcp":
+        return TCPProvider()
+    if lowered == "psm2":
+        return PSM2Provider()
+    raise ValueError(f"unknown fabric provider {name!r} (expected 'tcp' or 'psm2')")

@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage provides the substrate the rest of :mod:`repro` runs on: a
+priority-queue event loop (:class:`~repro.simulation.core.Simulator`),
+generator-based simulated processes (:class:`~repro.simulation.process.Process`),
+waitable events and composite conditions, and shared-resource primitives
+(mutexes, capacity-limited resources, FIFO stores).
+
+The kernel is intentionally SimPy-flavoured so the higher layers read like
+ordinary process-interaction simulation code, but it is implemented from
+scratch and guarantees *determinism*: same seed, same program, same trace —
+ties in time are broken by scheduling sequence number.
+"""
+
+from repro.simulation.core import Simulator, StopSimulation
+from repro.simulation.events import (
+    AllOf,
+    AnyOf,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.simulation.process import Process
+from repro.simulation.resources import Mutex, Resource, Store
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "StopSimulation",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Mutex",
+    "Store",
+    "RngRegistry",
+    "Tracer",
+    "TraceRecord",
+]

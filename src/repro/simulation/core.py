@@ -1,0 +1,169 @@
+"""The simulator event loop.
+
+:class:`Simulator` owns simulated time and a priority queue of triggered
+events.  Events are processed in ``(time, sequence)`` order, making runs
+fully deterministic: two events triggered for the same instant are processed
+in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.simulation.events import AllOf, AnyOf, Event, Timeout
+from repro.simulation.process import Process
+from repro.simulation.rng import RngRegistry
+from repro.simulation.trace import Tracer
+
+__all__ = ["Simulator", "StopSimulation"]
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` early."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's :class:`RngRegistry`.  Every source
+        of randomness in a model should draw from ``sim.rng`` streams so a
+        run is reproducible from this single value.
+    trace:
+        When True, a :class:`Tracer` collects structured records that models
+        emit via :meth:`record`.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = count()
+        self._running = False
+        self.rng = RngRegistry(seed)
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that triggers after ``delay`` seconds."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Wrap a generator into a running simulated :class:`Process`."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling (internal API used by events) ---------------------------
+    def _schedule(self, delay: float, event: Event) -> None:
+        """Enqueue ``event`` to be processed at ``now + delay``."""
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Enqueue an event that was just triggered for immediate processing."""
+        heapq.heappush(self._queue, (self._now, next(self._seq), event))
+
+    # -- tracing -------------------------------------------------------------
+    def record(self, kind: str, **fields: Any) -> None:
+        """Emit a trace record if tracing is enabled (no-op otherwise)."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, kind, fields)
+
+    # -- execution -----------------------------------------------------------
+    def step(self) -> None:
+        """Process the single next event in the queue.
+
+        Raises ``IndexError`` if the queue is empty.
+        """
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - internal invariant
+            raise AssertionError("event scheduled in the past")
+        self._now = when
+
+        if not event.triggered:
+            # A time-scheduled event (Timeout) firing now: assume its value.
+            event._value = event._delayed_value
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event.ok and not event._defused:
+            # Nobody handled the failure: surface it rather than dropping it.
+            exc = event.value
+            raise exc
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue is exhausted;
+        * a number — run until simulated time reaches that instant;
+        * an :class:`Event` — run until the event is processed, returning its
+          value (or raising its exception if it failed).
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (no re-entrant run())")
+        self._running = True
+        try:
+            if until is None:
+                while self._queue:
+                    self.step()
+                return None
+            if isinstance(until, Event):
+                sentinel = until
+
+                def _stop(event: Event) -> None:
+                    raise StopSimulation(event)
+
+                sentinel.add_callback(_stop)
+                try:
+                    while self._queue:
+                        self.step()
+                except StopSimulation as stop:
+                    event = stop.args[0]
+                    if event.ok:
+                        return event.value
+                    event.defuse()
+                    raise event.value
+                raise RuntimeError(
+                    f"simulation ran out of events before {sentinel!r} triggered"
+                )
+            # numeric deadline
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"until={deadline} is in the past (now={self._now})"
+                )
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+        finally:
+            self._running = False

@@ -1,0 +1,118 @@
+"""Generator-based simulated processes.
+
+A process is an ordinary Python generator that ``yield``\\ s
+:class:`~repro.simulation.events.Event` objects.  Each yield suspends the
+process until the event triggers; the event's value is sent back into the
+generator (or its exception raised there).  A :class:`Process` is itself an
+Event that triggers when the generator returns, so processes can wait on
+each other and be composed with ``AllOf``/``AnyOf``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simulation.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulation.core import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process starts on the next simulator step after creation.  When the
+    generator returns, the process event succeeds with the return value; if
+    the generator raises, the process event fails with that exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(generator, "__name__", ""))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process via an immediately-triggered bootstrap event.
+        bootstrap = Event(sim, name=f"{self.name}:start")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        sim._enqueue_triggered(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error.  The event the process
+        was waiting on remains pending/triggered; the process simply stops
+        waiting for it.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            # Detach: the event may still trigger later; ignore it then.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        # Deliver the interrupt via an immediate event so ordering stays
+        # consistent with normal resumptions.
+        kicker = Event(self.sim, name=f"{self.name}:interrupt")
+        kicker.callbacks.append(
+            lambda _evt: self._step(Interrupt(cause), as_exception=True)
+        )
+        kicker._ok = True
+        kicker._value = None
+        self.sim._enqueue_triggered(kicker)
+
+    # -- internal stepping ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Process already ended (e.g. interrupted); swallow stale wakeups.
+            if not event.ok:
+                event.defuse()
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(event._value, as_exception=False)
+        else:
+            event.defuse()
+            self._step(event.value, as_exception=True)
+
+    def _step(self, payload: Any, *, as_exception: bool) -> None:
+        try:
+            if as_exception:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            exc = TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event instances"
+            )
+            self._generator.close()
+            self.fail(exc)
+            return
+        if target.sim is not self.sim:
+            self._generator.close()
+            self.fail(ValueError("yielded event belongs to a different simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

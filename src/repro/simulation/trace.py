@@ -1,0 +1,61 @@
+"""Structured simulation tracing.
+
+Models call ``sim.record(kind, **fields)``; when tracing is enabled the
+records accumulate here and can be filtered or dumped.  The benchmark layer
+uses its own dedicated timestamp tables (``repro.bench.timestamps``) for the
+hot path — this tracer is for debugging and for tests that assert on event
+ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record: a timestamp, a kind tag, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Tracer:
+    """Append-only list of :class:`TraceRecord` with simple querying."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, fields: Dict[str, Any]) -> None:
+        self.records.append(TraceRecord(time, kind, dict(fields)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def filter(self, kind: Optional[str] = None, **fields: Any) -> List[TraceRecord]:
+        """Records matching ``kind`` (if given) and all given field values."""
+        out = []
+        for rec in self.records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if all(rec.fields.get(k) == v for k, v in fields.items()):
+                out.append(rec)
+        return out
+
+    def kinds(self) -> List[str]:
+        """Distinct record kinds in first-seen order."""
+        seen: List[str] = []
+        for rec in self.records:
+            if rec.kind not in seen:
+                seen.append(rec.kind)
+        return seen

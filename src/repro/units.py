@@ -1,0 +1,83 @@
+"""Size and time unit helpers used throughout the package.
+
+Sizes are plain ``int`` byte counts; simulated time is a ``float`` number of
+seconds.  Keeping both as primitives (rather than wrapper types) keeps the
+discrete-event hot paths cheap, so this module only provides well-named
+constants and a few formatting/parsing helpers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "USEC",
+    "MSEC",
+    "bytes_per_sec_to_gib",
+    "gib_per_sec_to_bytes",
+    "format_size",
+    "format_bandwidth",
+    "parse_size",
+]
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+#: One microsecond, in simulated seconds.
+USEC: float = 1e-6
+#: One millisecond, in simulated seconds.
+MSEC: float = 1e-3
+
+_SUFFIXES = (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB), ("B", 1))
+
+
+def bytes_per_sec_to_gib(rate: float) -> float:
+    """Convert a rate in bytes/second to GiB/second."""
+    return rate / GiB
+
+
+def gib_per_sec_to_bytes(rate: float) -> float:
+    """Convert a rate in GiB/second to bytes/second."""
+    return rate * GiB
+
+
+def format_size(nbytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``5242880 -> '5.0 MiB'``."""
+    for suffix, factor in _SUFFIXES:
+        if abs(nbytes) >= factor or factor == 1:
+            value = nbytes / factor
+            if value == int(value):
+                return f"{int(value)} {suffix}"
+            return f"{value:.1f} {suffix}"
+    raise AssertionError("unreachable")
+
+
+def format_bandwidth(bytes_per_sec: float) -> str:
+    """Render a bandwidth in GiB/s with two decimals, as the paper reports."""
+    return f"{bytes_per_sec / GiB:.2f} GiB/s"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``'5MiB'``, ``'1 GiB'``, ``'100'``) to bytes.
+
+    Raises ``ValueError`` for malformed input or negative sizes.
+    """
+    s = text.strip()
+    for suffix, factor in _SUFFIXES:
+        if s.endswith(suffix):
+            number = s[: -len(suffix)].strip()
+            value = float(number)
+            break
+    else:
+        value = float(s)
+        factor = 1
+    if value < 0:
+        raise ValueError(f"size must be non-negative: {text!r}")
+    result = value * factor
+    if result != int(result):
+        raise ValueError(f"size must resolve to a whole number of bytes: {text!r}")
+    return int(result)

@@ -1,0 +1,40 @@
+"""NWP workload generation: synthetic weather fields and benchmark key streams.
+
+The unit of data is the *weather field* — a 2-D slice over the Earth's
+surface for one variable at one time, 1–5 MiB encoded (§1.2).  Benchmarks
+only need sizes and keys (payloads are lazy patterns); the examples use
+:func:`~repro.workloads.fields.synthesize_field` for physically-shaped real
+data.
+"""
+
+from repro.workloads.fields import (
+    GaussianGrid,
+    PRESSURE_LEVELS,
+    UPPER_AIR_PARAMS,
+    SURFACE_PARAMS,
+    field_payload,
+    synthesize_field,
+)
+from repro.workloads.forecast import ForecastSpec
+from repro.workloads.generator import (
+    pattern_a_keys,
+    pattern_b_pairs,
+    forecast_msk,
+)
+from repro.workloads.ioserver import PipelineParams, PipelineResult, run_pipeline
+
+__all__ = [
+    "GaussianGrid",
+    "PRESSURE_LEVELS",
+    "UPPER_AIR_PARAMS",
+    "SURFACE_PARAMS",
+    "field_payload",
+    "synthesize_field",
+    "ForecastSpec",
+    "pattern_a_keys",
+    "pattern_b_pairs",
+    "forecast_msk",
+    "PipelineParams",
+    "PipelineResult",
+    "run_pipeline",
+]

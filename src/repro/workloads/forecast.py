@@ -1,0 +1,79 @@
+"""Forecast run descriptors.
+
+A :class:`ForecastSpec` describes one model run — the most-significant key
+plus the parameter/level/step ranges it outputs — and enumerates the full
+set of field keys, the way ECMWF's 4-times-daily operational runs do (§1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+from repro.fdb.key import FieldKey
+from repro.workloads.fields import PRESSURE_LEVELS, UPPER_AIR_PARAMS
+
+__all__ = ["ForecastSpec"]
+
+
+@dataclass(frozen=True)
+class ForecastSpec:
+    """One forecast: identity plus output inventory."""
+
+    date: str = "20260705"
+    time: str = "00"
+    klass: str = "od"
+    stream: str = "oper"
+    expver: str = "0001"
+    params: Tuple[str, ...] = UPPER_AIR_PARAMS
+    levels: Tuple[str, ...] = PRESSURE_LEVELS
+    steps: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(str(s) for s in range(0, 25, 6))
+    )
+    levtype: str = "pl"
+    type: str = "fc"
+
+    def msk(self) -> FieldKey:
+        """The most-significant (forecast identity) key."""
+        return FieldKey(
+            {
+                "class": self.klass,
+                "stream": self.stream,
+                "expver": self.expver,
+                "date": self.date,
+                "time": self.time,
+            }
+        )
+
+    def field_keys(self) -> Iterator[FieldKey]:
+        """Every field key this forecast outputs, steps outermost.
+
+        Step-major order matches how a model emits data: all fields of step
+        0, then all fields of step 6, and so on.
+        """
+        base = self.msk()
+        for step in self.steps:
+            for level in self.levels:
+                for param in self.params:
+                    yield base.merged(
+                        {
+                            "type": self.type,
+                            "levtype": self.levtype,
+                            "levelist": level,
+                            "param": param,
+                            "step": step,
+                        }
+                    )
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.params) * len(self.levels) * len(self.steps)
+
+    def partition(self, n_writers: int) -> Sequence[Sequence[FieldKey]]:
+        """Round-robin split of the field keys over ``n_writers`` I/O servers."""
+        if n_writers < 1:
+            raise ValueError(f"need >= 1 writers, got {n_writers}")
+        shards: list[list[FieldKey]] = [[] for _ in range(n_writers)]
+        for index, key in enumerate(self.field_keys()):
+            shards[index % n_writers].append(key)
+        return shards

@@ -1,0 +1,88 @@
+"""Benchmark key streams (§5.2–5.3).
+
+The Field I/O benchmark's contention knob is entirely a property of the keys
+the processes use:
+
+* **low contention** — each process writes/reads fields of *its own*
+  forecast (its own index KV and, in full mode, its own containers);
+* **high contention** — every process shares one forecast, so all index
+  traffic funnels through a single shared forecast index KV.
+
+Keys are unique per (rank, op) in both cases — processes never write the
+same *field*, only (in high contention) the same *index object*.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.fdb.key import FieldKey
+
+__all__ = ["forecast_msk", "pattern_a_keys", "pattern_b_pairs"]
+
+
+def forecast_msk(rank: int, shared: bool) -> FieldKey:
+    """Most-significant key for a benchmark process.
+
+    ``shared=True`` gives every rank the same forecast (maximum contention
+    on its index KV); otherwise each rank gets its own ``expver``.
+    """
+    expver = "0001" if shared else f"{rank + 1:04x}"
+    return FieldKey(
+        {
+            "class": "rd",
+            "stream": "oper",
+            "expver": expver,
+            "date": "20260705",
+            "time": "00",
+        }
+    )
+
+
+def _field_key(msk: FieldKey, rank: int, index: int) -> FieldKey:
+    """A field key unique to (rank, index) within a forecast.
+
+    ``levelist`` encodes the rank and ``step`` the op index, so two
+    processes sharing a forecast still address distinct fields.
+    """
+    return msk.merged(
+        {
+            "type": "fc",
+            "levtype": "ml",
+            "levelist": str(rank + 1),
+            "param": "t",
+            "step": str(index),
+        }
+    )
+
+
+def pattern_a_keys(rank: int, n_ops: int, shared_forecast: bool) -> List[FieldKey]:
+    """The key sequence one process writes (then reads) in access pattern A."""
+    if n_ops < 1:
+        raise ValueError(f"need >= 1 ops, got {n_ops}")
+    msk = forecast_msk(rank, shared_forecast)
+    return [_field_key(msk, rank, i) for i in range(n_ops)]
+
+
+def pattern_b_pairs(
+    n_processes: int, shared_forecast: bool
+) -> Tuple[List[FieldKey], List[FieldKey]]:
+    """Designated keys for access pattern B (§5.3).
+
+    The first half of the processes are writers, the second half readers;
+    reader ``i`` reads exactly the field writer ``i`` re-writes, which is
+    what induces the writer/reader contention the pattern is designed to
+    exhibit.  Returns ``(writer_keys, reader_keys)`` with one key per
+    writer/reader.
+    """
+    if n_processes < 2 or n_processes % 2 != 0:
+        raise ValueError(
+            f"pattern B needs an even process count >= 2, got {n_processes}"
+        )
+    n_writers = n_processes // 2
+    writer_keys = []
+    for writer_rank in range(n_writers):
+        msk = forecast_msk(writer_rank, shared_forecast)
+        writer_keys.append(_field_key(msk, writer_rank, 0))
+    reader_keys = list(writer_keys)
+    return writer_keys, reader_keys

@@ -1,0 +1,152 @@
+"""Field I/O benchmark: patterns, contention, fault emulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.fieldio_bench import (
+    Contention,
+    FieldIOBenchParams,
+    run_fieldio_pattern_a,
+    run_fieldio_pattern_b,
+)
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig, DaosServiceConfig
+from repro.daos.errors import SimulatedFaultError
+from repro.fdb.modes import FieldIOMode
+from repro.units import MiB
+
+
+def tiny_params(**overrides):
+    defaults = dict(
+        mode=FieldIOMode.FULL,
+        contention=Contention.LOW,
+        n_ops=5,
+        field_size=256 * 1024,
+        processes_per_node=2,
+        startup_skew=0.01,
+    )
+    defaults.update(overrides)
+    return FieldIOBenchParams(**defaults)
+
+
+def deployment(**kwargs):
+    kwargs.setdefault("n_server_nodes", 1)
+    kwargs.setdefault("n_client_nodes", 1)
+    return build_deployment(ClusterConfig(**kwargs))
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        FieldIOBenchParams(n_ops=0)
+    with pytest.raises(ValueError):
+        FieldIOBenchParams(field_size=0)
+    with pytest.raises(ValueError):
+        FieldIOBenchParams(processes_per_node=0)
+    with pytest.raises(ValueError):
+        FieldIOBenchParams(startup_skew=-0.1)
+
+
+@pytest.mark.parametrize("mode", list(FieldIOMode))
+def test_pattern_a_record_counts(mode):
+    cluster, system, pool = deployment()
+    params = tiny_params(mode=mode)
+    result = run_fieldio_pattern_a(cluster, system, pool, params)
+    writes = result.log.by_op("write")
+    reads = result.log.by_op("read")
+    assert len(writes) == 2 * 5  # 2 procs x 5 ops
+    assert len(reads) == 2 * 5
+    assert result.pattern == "A"
+    result.log.validate()
+
+
+def test_pattern_a_reads_follow_all_writes():
+    cluster, system, pool = deployment()
+    result = run_fieldio_pattern_a(cluster, system, pool, tiny_params())
+    last_write = max(r.io_end for r in result.log.by_op("write"))
+    first_read = min(r.io_start for r in result.log.by_op("read"))
+    assert first_read >= last_write
+
+
+def test_pattern_b_concurrent_writes_and_reads():
+    cluster, system, pool = deployment(n_client_nodes=2)
+    params = tiny_params(n_ops=8, processes_per_node=2)
+    result = run_fieldio_pattern_b(cluster, system, pool, params)
+    writes = result.log.by_op("write")
+    reads = result.log.by_op("read")
+    assert len(writes) == 2 * 8  # half of 4 procs are writers
+    assert len(reads) == 2 * 8
+    # Overlap: reads begin before the last write ends.
+    assert min(r.io_start for r in reads) < max(r.io_end for r in writes)
+
+
+def test_pattern_b_needs_even_process_count():
+    cluster, system, pool = deployment()
+    with pytest.raises(ValueError, match="even"):
+        run_fieldio_pattern_b(
+            cluster, system, pool, tiny_params(processes_per_node=1)
+        )
+
+
+def test_high_contention_single_forecast():
+    cluster, system, pool = deployment()
+    params = tiny_params(contention=Contention.HIGH, mode=FieldIOMode.FULL)
+    run_fieldio_pattern_a(cluster, system, pool, params)
+    # main + one shared forecast index/store pair.
+    assert pool.n_containers == 3
+
+
+def test_low_contention_per_process_forecasts():
+    cluster, system, pool = deployment()
+    params = tiny_params(contention=Contention.LOW, mode=FieldIOMode.FULL)
+    run_fieldio_pattern_a(cluster, system, pool, params)
+    # main + (index + store) per process.
+    assert pool.n_containers == 1 + 2 * 2
+
+
+def test_no_skew_option():
+    cluster, system, pool = deployment()
+    params = tiny_params(startup_skew=0.0)
+    result = run_fieldio_pattern_a(cluster, system, pool, params)
+    assert result.summary.write_global > 0
+
+
+def test_known_bug_emulation_triggers():
+    daos = DaosServiceConfig(emulate_known_bugs=True)
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=9, n_client_nodes=1, daos=daos)
+    )
+    params = tiny_params(mode=FieldIOMode.FULL, contention=Contention.LOW)
+    with pytest.raises(SimulatedFaultError, match="more than 8 server nodes"):
+        run_fieldio_pattern_a(cluster, system, pool, params)
+
+
+def test_known_bug_emulation_off_by_default():
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=9, n_client_nodes=1)
+    )
+    params = dataclasses.replace(
+        tiny_params(mode=FieldIOMode.FULL, contention=Contention.LOW), n_ops=2
+    )
+    result = run_fieldio_pattern_a(cluster, system, pool, params)
+    assert result.summary.write_global > 0
+
+
+def test_known_bug_emulation_spares_other_configs():
+    daos = DaosServiceConfig(emulate_known_bugs=True)
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=9, n_client_nodes=1, daos=daos)
+    )
+    # High contention is not the failing configuration.
+    params = tiny_params(
+        mode=FieldIOMode.FULL, contention=Contention.HIGH, n_ops=2
+    )
+    result = run_fieldio_pattern_a(cluster, system, pool, params)
+    assert result.summary.write_global > 0
+
+
+def test_summary_is_global_timing_only():
+    cluster, system, pool = deployment()
+    result = run_fieldio_pattern_a(cluster, system, pool, tiny_params())
+    assert result.summary.write_sync is None  # unsynchronised benchmark
+    assert result.summary.write_global is not None

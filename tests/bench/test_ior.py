@@ -1,0 +1,139 @@
+"""IOR clone: op sequence, records, bandwidth sanity."""
+
+import pytest
+
+from repro.bench.ior import IorParams, run_ior
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.objclass import OC_SX
+from repro.units import GiB, MiB
+
+
+def small_params(**overrides):
+    defaults = dict(segment_size=1 * MiB, segments=10, processes_per_node=4)
+    defaults.update(overrides)
+    return IorParams(**defaults)
+
+
+def run_small(config=None, params=None):
+    cluster, system, pool = build_deployment(
+        config or ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    return run_ior(cluster, system, pool, params or small_params())
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        IorParams(segment_size=0)
+    with pytest.raises(ValueError):
+        IorParams(segments=0)
+    with pytest.raises(ValueError):
+        IorParams(processes_per_node=0)
+    with pytest.raises(ValueError):
+        IorParams(do_write=False, do_read=False)
+
+
+def test_object_size():
+    assert small_params().object_size == 10 * MiB
+
+
+def test_run_produces_one_record_per_process_per_phase():
+    result = run_small()
+    total_procs = 4  # one client node x 4 ppn
+    writes = result.log.by_op("write")
+    reads = result.log.by_op("read")
+    assert len(writes) == total_procs
+    assert len(reads) == total_procs
+    for record in result.log:
+        assert record.size == 10 * MiB
+        record.validate()
+
+
+def test_barriers_synchronise_io_starts():
+    result = run_small()
+    writes = result.log.by_op("write")
+    starts = [r.io_start for r in writes]
+    # Pre-I/O barrier: every process starts its I/O at the same instant.
+    assert max(starts) - min(starts) < 1e-9
+
+
+def test_reads_start_after_all_writes_finish():
+    result = run_small()
+    last_write_end = max(r.io_end for r in result.log.by_op("write"))
+    first_read_start = min(r.io_start for r in result.log.by_op("read"))
+    assert first_read_start >= last_write_end
+
+
+def test_inner_events_populated_and_ordered():
+    result = run_small()
+    for record in result.log:
+        assert record.open_start == record.io_start  # §5.5 IOR equivalence
+        assert record.open_end is not None
+        assert record.transfer_end is not None
+        assert record.close_end == record.io_end
+
+
+def test_write_bandwidth_bounded_by_engine_write_path():
+    result = run_small(params=small_params(processes_per_node=16))
+    write_bw = result.summary.write_sync
+    # 2 engines x ~2.6 GiB/s engine_rx (media allows 2.75).
+    assert write_bw < 5.3 * GiB
+    assert write_bw > 3.0 * GiB
+
+
+def test_read_faster_than_write():
+    result = run_small(params=small_params(processes_per_node=16))
+    assert result.summary.read_sync > result.summary.write_sync
+
+
+def test_write_only_run():
+    result = run_small(params=small_params(do_read=False))
+    assert len(result.log.by_op("read")) == 0
+    assert result.summary.read_sync is None
+
+
+def test_read_without_write_rejected():
+    with pytest.raises(ValueError, match="prior write"):
+        run_small(params=small_params(do_write=False))
+
+
+def test_striped_objects_supported():
+    result = run_small(params=small_params(oclass=OC_SX, processes_per_node=2))
+    assert result.summary.write_sync > 0
+
+
+def test_read_verify_passes_on_intact_data():
+    result = run_small(
+        params=small_params(verify_reads=True, segments=4, processes_per_node=2)
+    )
+    assert len(result.log.by_op("read")) == 2
+
+
+def test_between_phases_hook_runs_after_writes():
+    from repro.bench.runner import build_deployment
+
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    calls = []
+
+    def hook():
+        calls.append(cluster.sim.now)
+
+    result = run_ior(
+        cluster, system, pool, small_params(processes_per_node=2),
+        between_phases=hook,
+    )
+    assert len(calls) == 1
+    last_write = max(r.io_end for r in result.log.by_op("write"))
+    first_read = min(r.io_start for r in result.log.by_op("read"))
+    assert last_write <= calls[0] <= first_read
+
+
+def test_pool_usage_matches_data_written():
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    params = small_params()
+    run_ior(cluster, system, pool, params)
+    assert pool.used == 4 * params.object_size

@@ -1,0 +1,60 @@
+"""mdtest-style metadata benchmark."""
+
+import pytest
+
+from repro.bench.mdtest import MdtestParams, MdtestResult, run_mdtest
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+
+
+def run_small(**overrides):
+    params_kwargs = dict(processes_per_node=2, files_per_process=8)
+    params_kwargs.update(overrides.pop("params", {}))
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1, **overrides)
+    )
+    return run_mdtest(cluster, system, pool, MdtestParams(**params_kwargs)), pool
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        MdtestParams(processes_per_node=0)
+    with pytest.raises(ValueError):
+        MdtestParams(files_per_process=0)
+    with pytest.raises(ValueError):
+        MdtestParams(file_size=-1)
+
+
+def test_rates_positive_and_phases_timed():
+    result, _ = run_small()
+    assert result.create_rate > 0
+    assert result.stat_rate > 0
+    assert result.remove_rate > 0
+    for phase, elapsed in result.phase_times.items():
+        assert elapsed > 0, phase
+
+
+def test_stat_faster_than_create():
+    """Creates do KV put + array create (+pool service); stats only read."""
+    result, _ = run_small()
+    assert result.stat_rate > result.create_rate
+
+
+def test_remove_restores_pool_usage():
+    result, pool = run_small(params=dict(file_size=4096))
+    # Everything created was removed; only the directory KVs remain.
+    assert pool.used == 0
+
+
+def test_more_processes_more_aggregate_rate():
+    few, _ = run_small(params=dict(processes_per_node=1))
+    many, _ = run_small(params=dict(processes_per_node=8))
+    assert many.create_rate > few.create_rate
+
+
+def test_zero_time_phase_rejected():
+    result = MdtestResult(
+        params=MdtestParams(), n_processes=1, phase_times={"create": 0.0}
+    )
+    with pytest.raises(ValueError):
+        result.rate("create")

@@ -1,0 +1,150 @@
+"""Equation 1 and 2 algebra, including property-based identities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.metrics import (
+    BandwidthSummary,
+    global_timing_bandwidth,
+    summarise,
+    synchronous_bandwidth,
+)
+from repro.bench.timestamps import IoRecord, TimestampLog
+from repro.units import GiB
+
+
+def record(rank, iteration, start, end, size, op="write"):
+    return IoRecord(
+        node=0, rank=rank, iteration=iteration, op=op, size=size,
+        io_start=start, io_end=end,
+    )
+
+
+def test_synchronous_bandwidth_single_iteration():
+    log = TimestampLog()
+    # Two processes, 100 bytes each, spanning [0, 2] -> 100 B/s.
+    log.add(record(0, 0, 0.0, 1.5, 100))
+    log.add(record(1, 0, 0.5, 2.0, 100))
+    assert synchronous_bandwidth(log) == pytest.approx(100.0)
+
+
+def test_synchronous_bandwidth_averages_iterations():
+    log = TimestampLog()
+    log.add(record(0, 0, 0.0, 1.0, 100))  # 100 B/s
+    log.add(record(0, 1, 1.0, 1.5, 100))  # 200 B/s
+    assert synchronous_bandwidth(log) == pytest.approx(150.0)
+
+
+def test_global_timing_bandwidth_uses_overall_span():
+    log = TimestampLog()
+    log.add(record(0, 0, 0.0, 1.0, 100))
+    log.add(record(0, 1, 3.0, 4.0, 100))  # gap counts against the bandwidth
+    assert global_timing_bandwidth(log) == pytest.approx(200.0 / 4.0)
+
+
+def test_gap_lowers_global_but_not_synchronous():
+    """The §5.5 point: work between iterations hurts eq. 2, not eq. 1."""
+    busy = TimestampLog()
+    busy.add(record(0, 0, 0.0, 1.0, 100))
+    busy.add(record(0, 1, 1.0, 2.0, 100))
+    gappy = TimestampLog()
+    gappy.add(record(0, 0, 0.0, 1.0, 100))
+    gappy.add(record(0, 1, 9.0, 10.0, 100))
+    assert synchronous_bandwidth(busy) == synchronous_bandwidth(gappy)
+    assert global_timing_bandwidth(gappy) < global_timing_bandwidth(busy)
+
+
+def test_empty_log_rejected():
+    with pytest.raises(ValueError):
+        synchronous_bandwidth(TimestampLog())
+    with pytest.raises(ValueError):
+        global_timing_bandwidth(TimestampLog())
+
+
+def test_zero_duration_iteration_rejected():
+    log = TimestampLog()
+    log.add(record(0, 0, 1.0, 1.0, 100))
+    with pytest.raises(ValueError):
+        synchronous_bandwidth(log)
+    with pytest.raises(ValueError):
+        global_timing_bandwidth(log)
+
+
+def test_summarise_splits_ops():
+    log = TimestampLog()
+    log.add(record(0, 0, 0.0, 1.0, 100, op="write"))
+    log.add(record(0, 0, 1.0, 2.0, 300, op="read"))
+    summary = summarise(log, synchronous=True)
+    assert summary.write_global == pytest.approx(100.0)
+    assert summary.read_global == pytest.approx(300.0)
+    assert summary.write_sync == pytest.approx(100.0)
+    assert summary.aggregated_global == pytest.approx(400.0)
+
+
+def test_summarise_without_synchronous():
+    log = TimestampLog()
+    log.add(record(0, 0, 0.0, 1.0, 100))
+    summary = summarise(log, synchronous=False)
+    assert summary.write_sync is None
+    assert summary.write_global == pytest.approx(100.0)
+    assert summary.read_global is None
+
+
+def test_summary_gib_helper():
+    summary = BandwidthSummary(
+        write_sync=None, read_sync=None, write_global=2 * GiB, read_global=None
+    )
+    assert summary.gib("write_global") == pytest.approx(2.0)
+    assert summary.gib("read_global") == 0.0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # rank
+            st.floats(min_value=0.0, max_value=100.0),  # start
+            st.floats(min_value=0.01, max_value=50.0),  # duration
+            st.integers(min_value=1, max_value=10**9),  # size
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_single_iteration_identity(rows):
+    """With one iteration, eq. 1 == eq. 2 exactly."""
+    log = TimestampLog()
+    for rank, start, duration, size in rows:
+        log.add(record(rank, 0, start, start + duration, size))
+    assert synchronous_bandwidth(log) == pytest.approx(global_timing_bandwidth(log))
+
+
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=2),
+            st.floats(min_value=0.0, max_value=100.0),
+            st.floats(min_value=0.01, max_value=50.0),
+            st.integers(min_value=1, max_value=10**6),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_scaling_property(scale, rows):
+    """Scaling all timestamps by k divides both bandwidths by k."""
+    base, scaled = TimestampLog(), TimestampLog()
+    for rank, iteration, start, duration, size in rows:
+        base.add(record(rank, iteration, start, start + duration, size))
+        scaled.add(
+            record(rank, iteration, start * scale, (start + duration) * scale, size)
+        )
+    assert global_timing_bandwidth(scaled) * scale == pytest.approx(
+        global_timing_bandwidth(base), rel=1e-6
+    )
+    assert synchronous_bandwidth(scaled) * scale == pytest.approx(
+        synchronous_bandwidth(base), rel=1e-6
+    )

@@ -1,0 +1,85 @@
+"""MPI point-to-point benchmark and its Table 2 behaviour."""
+
+import pytest
+
+from repro.analytic.model import mpi_p2p_bound
+from repro.bench.mpi_p2p import MpiP2pParams, run_mpi_p2p, sweep_transfer_sizes
+from repro.config import ClusterConfig, PSM2_PROVIDER
+from repro.units import GiB, MiB
+
+
+def config(**kwargs):
+    kwargs.setdefault("n_server_nodes", 1)
+    kwargs.setdefault("n_client_nodes", 2)
+    return ClusterConfig(**kwargs)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        MpiP2pParams(process_pairs=0)
+    with pytest.raises(ValueError):
+        MpiP2pParams(transfer_size=0)
+    with pytest.raises(ValueError):
+        MpiP2pParams(messages=0)
+
+
+def test_needs_two_nodes():
+    with pytest.raises(ValueError, match="two client nodes"):
+        run_mpi_p2p(config(n_client_nodes=1), MpiP2pParams())
+
+
+def test_single_tcp_pair_near_per_stream_cap():
+    result = run_mpi_p2p(config(), MpiP2pParams(process_pairs=1, transfer_size=8 * MiB))
+    assert result.bandwidth_gib == pytest.approx(3.1, rel=0.15)
+
+
+def test_psm2_single_pair_near_line_rate():
+    result = run_mpi_p2p(
+        config(provider=PSM2_PROVIDER),
+        MpiP2pParams(process_pairs=1, transfer_size=8 * MiB),
+    )
+    assert result.bandwidth_gib == pytest.approx(12.1, rel=0.1)
+
+
+def test_tcp_aggregate_saturates_with_pairs():
+    results = {
+        pairs: run_mpi_p2p(
+            config(), MpiP2pParams(process_pairs=pairs, transfer_size=2 * MiB)
+        ).bandwidth_gib
+        for pairs in (1, 2, 4, 8, 16)
+    }
+    assert results[1] < results[2] < results[4] < results[8]
+    assert results[16] <= results[8]  # the Table 2 droop
+    assert results[8] == pytest.approx(9.5, rel=0.15)
+
+
+def test_small_transfers_pay_latency():
+    small = run_mpi_p2p(config(), MpiP2pParams(process_pairs=1, transfer_size=64 * 1024))
+    large = run_mpi_p2p(config(), MpiP2pParams(process_pairs=1, transfer_size=8 * MiB))
+    assert small.bandwidth < large.bandwidth
+
+
+def test_matches_analytic_bound():
+    cfg = config()
+    for pairs in (1, 4):
+        params = MpiP2pParams(process_pairs=pairs, transfer_size=4 * MiB)
+        measured = run_mpi_p2p(cfg, params).bandwidth
+        predicted = mpi_p2p_bound(cfg, pairs, params.transfer_size)
+        assert measured == pytest.approx(predicted, rel=0.05)
+
+
+def test_sweep_reports_consistent_best():
+    best_size, best_bw, table = sweep_transfer_sizes(
+        config(), process_pairs=1, sizes=(1 * MiB, 8 * MiB), messages=8
+    )
+    assert best_size in table
+    assert best_bw == max(table.values())
+    assert best_size == 8 * MiB  # latency amortisation favours larger sizes
+
+
+def test_result_accounting():
+    params = MpiP2pParams(process_pairs=2, transfer_size=1 * MiB, messages=4)
+    result = run_mpi_p2p(config(), params)
+    assert result.total_bytes == 2 * 4 * 1 * MiB
+    assert result.elapsed > 0
+    assert result.provider == "tcp"

@@ -1,0 +1,33 @@
+"""Report formatting."""
+
+import pytest
+
+from repro.bench.report import format_series, format_table, gib
+from repro.units import GiB
+
+
+def test_gib_formatting():
+    assert gib(2.5 * GiB) == "2.50"
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "---" in lines[1]
+    assert len({len(line) for line in lines}) == 1  # all lines same width
+
+
+def test_format_table_validates_row_width():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_format_series():
+    text = format_series("write", [1, 2], [1 * GiB, 2 * GiB])
+    assert text == "write [GiB/s]: 1=1.00, 2=2.00"
+
+
+def test_format_series_validates_lengths():
+    with pytest.raises(ValueError):
+        format_series("s", [1], [1.0, 2.0])

@@ -1,0 +1,65 @@
+"""Barrier synchronisation."""
+
+import pytest
+
+from repro.bench.sync import Barrier
+
+
+def party(sim, barrier, delay, log, name):
+    yield sim.timeout(delay)
+    yield barrier.wait()
+    log.append((name, sim.now))
+
+
+def test_barrier_releases_all_at_last_arrival(sim):
+    barrier = Barrier(sim, 3)
+    log = []
+    for name, delay in (("a", 1.0), ("b", 2.0), ("c", 5.0)):
+        sim.process(party(sim, barrier, delay, log, name))
+    sim.run()
+    assert all(t == 5.0 for _, t in log)
+    assert len(log) == 3
+
+
+def test_barrier_is_reusable(sim):
+    barrier = Barrier(sim, 2)
+    log = []
+
+    def looper(sim, barrier, name, delays):
+        for delay in delays:
+            yield sim.timeout(delay)
+            yield barrier.wait()
+            log.append((name, sim.now))
+
+    sim.process(looper(sim, barrier, "fast", [1.0, 1.0]))
+    sim.process(looper(sim, barrier, "slow", [2.0, 2.0]))
+    sim.run()
+    times = sorted(t for _, t in log)
+    assert times == [2.0, 2.0, 4.0, 4.0]
+    assert barrier.generation == 2
+
+
+def test_single_party_barrier_is_noop(sim):
+    barrier = Barrier(sim, 1)
+    event = barrier.wait()
+    assert event.triggered
+
+
+def test_wait_value_is_generation(sim):
+    barrier = Barrier(sim, 1)
+    first = barrier.wait()
+    second = barrier.wait()
+    sim.run()
+    assert first.value == 0
+    assert second.value == 1
+
+
+def test_validation(sim):
+    with pytest.raises(ValueError):
+        Barrier(sim, 0)
+
+
+def test_n_waiting(sim):
+    barrier = Barrier(sim, 3)
+    barrier.wait()
+    assert barrier.n_waiting == 1

@@ -1,0 +1,64 @@
+"""Property-based barrier testing: random arrival schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.sync import Barrier
+from repro.simulation import Simulator
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_barrier_releases_everyone_at_last_arrival(delays):
+    sim = Simulator()
+    barrier = Barrier(sim, len(delays))
+    release_times = []
+
+    def party(sim, barrier, delay):
+        yield sim.timeout(delay)
+        yield barrier.wait()
+        release_times.append(sim.now)
+
+    for delay in delays:
+        sim.process(party(sim, barrier, delay))
+    sim.run()
+
+    assert len(release_times) == len(delays)
+    last_arrival = max(delays)
+    assert all(t == release_times[0] for t in release_times)
+    assert release_times[0] == last_arrival
+    assert barrier.n_waiting == 0
+    assert barrier.generation == 1
+
+
+@given(
+    rounds=st.integers(min_value=1, max_value=5),
+    parties=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_barrier_round_count_matches_generations(rounds, parties):
+    sim = Simulator()
+    barrier = Barrier(sim, parties)
+    per_party_releases = [[] for _ in range(parties)]
+
+    def party(sim, barrier, index):
+        for _ in range(rounds):
+            yield sim.timeout(float(index + 1))
+            yield barrier.wait()
+            per_party_releases[index].append(sim.now)
+
+    for index in range(parties):
+        sim.process(party(sim, barrier, index))
+    sim.run()
+
+    assert barrier.generation == rounds
+    for releases in per_party_releases:
+        assert len(releases) == rounds
+        # All parties observe identical release instants per round.
+        assert releases == per_party_releases[0]
+    # Rounds strictly ordered in time.
+    first = per_party_releases[0]
+    assert all(a < b for a, b in zip(first, first[1:]))

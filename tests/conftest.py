@@ -1,0 +1,45 @@
+"""Shared fixtures: small deployments that keep unit tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.system import DaosSystem
+from repro.hardware.topology import Cluster
+from repro.simulation.core import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=7)
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    return ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=7)
+
+
+@pytest.fixture
+def deployment(small_config):
+    """(cluster, system, pool) over one dual-engine server and one client."""
+    return build_deployment(small_config)
+
+
+@pytest.fixture
+def client(deployment) -> DaosClient:
+    cluster, system, _pool = deployment
+    return DaosClient(system, cluster.client_addresses(1)[0])
+
+
+def run_process(cluster_or_sim, generator):
+    """Drive a client generator to completion, returning its value."""
+    sim = cluster_or_sim.sim if isinstance(cluster_or_sim, Cluster) else cluster_or_sim
+    return sim.run(until=sim.process(generator))
+
+
+@pytest.fixture
+def run():
+    return run_process

@@ -1,0 +1,151 @@
+"""Array object extents: write overlay, reads, holes, truncation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.daos.array_object import ArrayObject
+from repro.daos.errors import InvalidArgumentError, ObjectNotFoundError
+from repro.daos.objclass import OC_S1
+from repro.daos.oid import ObjectId
+from repro.daos.payload import BytesPayload, PatternPayload
+
+
+def make_array():
+    return ArrayObject(ObjectId.from_user(0, 1), OC_S1)
+
+
+def test_write_read_roundtrip():
+    array = make_array()
+    array.write(0, BytesPayload(b"hello"))
+    assert array.read(0, 5).to_bytes() == b"hello"
+    assert array.size == 5
+
+
+def test_write_at_offset_creates_hole():
+    array = make_array()
+    array.write(10, BytesPayload(b"xy"))
+    assert array.size == 12
+    with pytest.raises(ObjectNotFoundError, match="unwritten"):
+        array.read(0, 12)
+    assert array.read(10, 2).to_bytes() == b"xy"
+
+
+def test_read_past_end_fails():
+    array = make_array()
+    array.write(0, BytesPayload(b"abc"))
+    with pytest.raises(ObjectNotFoundError):
+        array.read(0, 4)
+
+
+def test_overwrite_replaces_overlap():
+    array = make_array()
+    array.write(0, BytesPayload(b"aaaaaaaa"))
+    array.write(2, BytesPayload(b"BB"))
+    assert array.read(0, 8).to_bytes() == b"aaBBaaaa"
+    assert array.n_extents == 3
+
+
+def test_overwrite_spanning_multiple_extents():
+    array = make_array()
+    array.write(0, BytesPayload(b"aaaa"))
+    array.write(4, BytesPayload(b"bbbb"))
+    array.write(2, BytesPayload(b"XXXX"))
+    assert array.read(0, 8).to_bytes() == b"aaXXXXbb"
+
+
+def test_adjacent_extents_read_concatenated():
+    array = make_array()
+    array.write(0, BytesPayload(b"ab"))
+    array.write(2, BytesPayload(b"cd"))
+    assert array.read(0, 4).to_bytes() == b"abcd"
+
+
+def test_zero_length_operations():
+    array = make_array()
+    array.write(0, BytesPayload(b""))
+    assert array.size == 0
+    assert array.read(0, 0).to_bytes() == b""
+
+
+def test_pattern_payload_slices_stay_lazy():
+    array = make_array()
+    array.write(0, PatternPayload(4096, seed=1))
+    piece = array.read(1024, 100)
+    assert piece.to_bytes() == PatternPayload(4096, seed=1).to_bytes()[1024:1124]
+
+
+def test_validation():
+    array = make_array()
+    with pytest.raises(InvalidArgumentError):
+        array.write(-1, BytesPayload(b"x"))
+    with pytest.raises(InvalidArgumentError):
+        array.read(-1, 1)
+    with pytest.raises(InvalidArgumentError):
+        array.read(0, -1)
+
+
+def test_truncate_discards_tail():
+    array = make_array()
+    array.write(0, BytesPayload(b"abcdefgh"))
+    array.truncate(3)
+    assert array.size == 3
+    assert array.read(0, 3).to_bytes() == b"abc"
+    with pytest.raises(ObjectNotFoundError):
+        array.read(0, 4)
+
+
+def test_truncate_drops_whole_extents():
+    array = make_array()
+    array.write(0, BytesPayload(b"ab"))
+    array.write(10, BytesPayload(b"cd"))
+    array.truncate(5)
+    assert array.size == 2
+    assert array.n_extents == 1
+
+
+def test_truncate_validation():
+    with pytest.raises(InvalidArgumentError):
+        make_array().truncate(-1)
+
+
+def test_extent_at():
+    array = make_array()
+    array.write(5, BytesPayload(b"xyz"))
+    assert array.extent_at(6).offset == 5
+    assert array.extent_at(0) is None
+
+
+def test_nbytes_stored_excludes_holes():
+    array = make_array()
+    array.write(0, BytesPayload(b"ab"))
+    array.write(100, BytesPayload(b"cd"))
+    assert array.nbytes_stored == 4
+    assert array.size == 102
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.binary(min_size=1, max_size=64),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_overlay_matches_reference_bytearray(writes):
+    """Random write sequences match a flat bytearray reference model."""
+    array = make_array()
+    reference = bytearray()
+    for offset, data in writes:
+        array.write(offset, BytesPayload(data))
+        if len(reference) < offset + len(data):
+            reference.extend(b"\x00" * (offset + len(data) - len(reference)))
+        reference[offset : offset + len(data)] = data
+    assert array.size == len(reference)
+    # Compare every written region; holes (never-written gaps) are skipped by
+    # reading extent by extent.
+    for extent in array._extents:
+        got = array.read(extent.offset, extent.payload.size).to_bytes()
+        assert got == bytes(reference[extent.offset : extent.end])

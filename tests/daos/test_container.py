@@ -1,0 +1,75 @@
+"""Container namespaces: objects, create-or-open, epochs."""
+
+import uuid
+
+import pytest
+
+from repro.daos.array_object import ArrayObject
+from repro.daos.container import Container
+from repro.daos.errors import InvalidArgumentError, ObjectNotFoundError
+from repro.daos.kv import KeyValueObject
+from repro.daos.objclass import OC_S1, OC_SX
+from repro.daos.oid import ObjectId
+
+
+@pytest.fixture
+def container():
+    return Container(uuid.uuid4(), label="test")
+
+
+def test_get_or_create_kv_materialises_once(container):
+    oid = ObjectId.from_user(0, 1)
+    kv1 = container.get_or_create_kv(oid, OC_SX)
+    kv2 = container.get_or_create_kv(oid, OC_SX)
+    assert kv1 is kv2
+    assert len(container) == 1
+
+
+def test_get_or_create_array(container):
+    oid = ObjectId.from_user(0, 2)
+    array = container.get_or_create_array(oid, OC_S1)
+    assert isinstance(array, ArrayObject)
+    assert container.get_object(oid) is array
+
+
+def test_kind_mismatch_rejected(container):
+    oid = ObjectId.from_user(0, 3)
+    container.get_or_create_kv(oid, OC_SX)
+    with pytest.raises(InvalidArgumentError, match="not an Array"):
+        container.get_or_create_array(oid, OC_S1)
+    oid2 = ObjectId.from_user(0, 4)
+    container.get_or_create_array(oid2, OC_S1)
+    with pytest.raises(InvalidArgumentError, match="not a KV"):
+        container.get_or_create_kv(oid2, OC_SX)
+
+
+def test_get_missing_object(container):
+    with pytest.raises(ObjectNotFoundError):
+        container.get_object(ObjectId.from_user(9, 9))
+    assert not container.has_object(ObjectId.from_user(9, 9))
+
+
+def test_duplicate_add_rejected(container):
+    oid = ObjectId.from_user(0, 5)
+    container.add_object(KeyValueObject(oid, OC_SX))
+    with pytest.raises(InvalidArgumentError, match="already exists"):
+        container.add_object(KeyValueObject(oid, OC_SX))
+
+
+def test_epoch_bumps_on_object_creation(container):
+    epoch = container.epoch
+    container.get_or_create_kv(ObjectId.from_user(0, 6), OC_SX)
+    assert container.epoch == epoch + 1
+
+
+def test_oid_allocator_is_per_container():
+    c1 = Container(uuid.uuid4())
+    c2 = Container(uuid.uuid4())
+    assert c1.oid_allocator.allocate() == c2.oid_allocator.allocate()
+
+
+def test_objects_iteration(container):
+    oids = [ObjectId.from_user(0, i) for i in range(1, 4)]
+    for oid in oids:
+        container.get_or_create_kv(oid, OC_SX)
+    assert [o.oid for o in container.objects()] == oids

@@ -1,0 +1,135 @@
+"""DFS: the POSIX-like layer over DAOS."""
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.dfs import (
+    Dfs,
+    DfsError,
+    FileExistsDfsError,
+    FileNotFoundDfsError,
+)
+from repro.daos.errors import InvalidArgumentError
+from repro.daos.payload import PatternPayload
+from repro.units import MiB
+from tests.conftest import run_process
+
+
+@pytest.fixture
+def dfs_env():
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1)
+    )
+    client = DaosClient(system, cluster.client_addresses(1)[0])
+    dfs = run_process(cluster, Dfs.mount(client, pool))
+    return cluster, pool, dfs
+
+
+def test_mount_is_idempotent(dfs_env):
+    cluster, pool, dfs = dfs_env
+    again = run_process(cluster, Dfs.mount(dfs.client, pool))
+    assert again.container is dfs.container
+
+
+def test_file_roundtrip(dfs_env):
+    cluster, _, dfs = dfs_env
+    data = PatternPayload(2 * MiB, seed=1)
+    run_process(cluster, dfs.write_file("/field.grib", data))
+    back = run_process(cluster, dfs.read_file("/field.grib"))
+    assert back == data
+
+
+def test_nested_directories(dfs_env):
+    cluster, _, dfs = dfs_env
+    run_process(cluster, dfs.mkdir("/fc"))
+    run_process(cluster, dfs.mkdir("/fc/0012"))
+    run_process(cluster, dfs.write_file("/fc/0012/t850.grib", b"bytes"))
+    assert run_process(cluster, dfs.listdir("/")) == ["fc"]
+    assert run_process(cluster, dfs.listdir("/fc")) == ["0012"]
+    assert run_process(cluster, dfs.listdir("/fc/0012")) == ["t850.grib"]
+    assert run_process(cluster, dfs.read_file("/fc/0012/t850.grib")).to_bytes() == b"bytes"
+
+
+def test_mkdir_requires_parent(dfs_env):
+    cluster, _, dfs = dfs_env
+    with pytest.raises(FileNotFoundDfsError):
+        run_process(cluster, dfs.mkdir("/a/b"))
+
+
+def test_mkdir_clash(dfs_env):
+    cluster, _, dfs = dfs_env
+    run_process(cluster, dfs.mkdir("/dir"))
+    with pytest.raises(FileExistsDfsError):
+        run_process(cluster, dfs.mkdir("/dir"))
+
+
+def test_overwrite_shrinks_correctly(dfs_env):
+    cluster, _, dfs = dfs_env
+    run_process(cluster, dfs.write_file("/f", b"long-content"))
+    run_process(cluster, dfs.write_file("/f", b"tiny"))
+    assert run_process(cluster, dfs.read_file("/f")).to_bytes() == b"tiny"
+
+
+def test_write_over_directory_rejected(dfs_env):
+    cluster, _, dfs = dfs_env
+    run_process(cluster, dfs.mkdir("/d"))
+    with pytest.raises(FileExistsDfsError):
+        run_process(cluster, dfs.write_file("/d", b"x"))
+
+
+def test_read_missing_and_read_directory(dfs_env):
+    cluster, _, dfs = dfs_env
+    with pytest.raises(FileNotFoundDfsError):
+        run_process(cluster, dfs.read_file("/missing"))
+    run_process(cluster, dfs.mkdir("/d"))
+    with pytest.raises(DfsError, match="is a directory"):
+        run_process(cluster, dfs.read_file("/d"))
+
+
+def test_stat(dfs_env):
+    cluster, _, dfs = dfs_env
+    root = run_process(cluster, dfs.stat("/"))
+    assert root.is_dir
+    run_process(cluster, dfs.write_file("/f", b"12345"))
+    stat = run_process(cluster, dfs.stat("/f"))
+    assert not stat.is_dir
+    assert stat.size == 5
+    assert run_process(cluster, dfs.exists("/f"))
+    assert not run_process(cluster, dfs.exists("/g"))
+
+
+def test_unlink_file_refunds_pool(dfs_env):
+    cluster, pool, dfs = dfs_env
+    run_process(cluster, dfs.write_file("/big", PatternPayload(4 * MiB, seed=2)))
+    used = pool.used
+    run_process(cluster, dfs.unlink("/big"))
+    assert pool.used < used
+    assert not run_process(cluster, dfs.exists("/big"))
+
+
+def test_unlink_directory_rules(dfs_env):
+    cluster, _, dfs = dfs_env
+    run_process(cluster, dfs.mkdir("/d"))
+    run_process(cluster, dfs.write_file("/d/f", b"x"))
+    with pytest.raises(DfsError, match="not empty"):
+        run_process(cluster, dfs.unlink("/d"))
+    run_process(cluster, dfs.unlink("/d/f"))
+    run_process(cluster, dfs.unlink("/d"))
+    assert run_process(cluster, dfs.listdir("/")) == []
+
+
+def test_path_validation(dfs_env):
+    cluster, _, dfs = dfs_env
+    with pytest.raises(InvalidArgumentError):
+        run_process(cluster, dfs.mkdir("relative/path"))
+    with pytest.raises(InvalidArgumentError):
+        run_process(cluster, dfs.mkdir("/"))
+
+
+def test_operations_consume_simulated_time(dfs_env):
+    cluster, _, dfs = dfs_env
+    t0 = cluster.sim.now
+    run_process(cluster, dfs.write_file("/t", b"x" * 1024))
+    assert cluster.sim.now > t0

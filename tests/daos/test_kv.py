@@ -1,0 +1,84 @@
+"""Functional KV object semantics."""
+
+import pytest
+
+from repro.daos.errors import InvalidArgumentError, KeyNotFoundError
+from repro.daos.kv import KeyValueObject
+from repro.daos.objclass import OC_SX
+from repro.daos.oid import ObjectId
+
+
+@pytest.fixture
+def kv():
+    return KeyValueObject(ObjectId.from_user(0, 1), OC_SX)
+
+
+def test_put_get_roundtrip(kv):
+    kv.put(b"key", b"value")
+    assert kv.get(b"key") == b"value"
+    assert kv.contains(b"key")
+    assert len(kv) == 1
+
+
+def test_overwrite(kv):
+    kv.put(b"key", b"v1")
+    kv.put(b"key", b"v2")
+    assert kv.get(b"key") == b"v2"
+    assert len(kv) == 1
+
+
+def test_get_missing_raises(kv):
+    with pytest.raises(KeyNotFoundError):
+        kv.get(b"missing")
+
+
+def test_get_or_none(kv):
+    assert kv.get_or_none(b"missing") is None
+    kv.put(b"k", b"v")
+    assert kv.get_or_none(b"k") == b"v"
+
+
+def test_remove(kv):
+    kv.put(b"k", b"v")
+    kv.remove(b"k")
+    assert not kv.contains(b"k")
+    with pytest.raises(KeyNotFoundError):
+        kv.remove(b"k")
+
+
+def test_key_type_validation(kv):
+    with pytest.raises(InvalidArgumentError):
+        kv.put("not-bytes", b"v")
+    with pytest.raises(InvalidArgumentError):
+        kv.put(b"", b"v")
+    with pytest.raises(InvalidArgumentError):
+        kv.put(b"k", 123)
+    with pytest.raises(InvalidArgumentError):
+        kv.get("str")
+
+
+def test_bytearray_accepted_and_copied(kv):
+    key = bytearray(b"key")
+    value = bytearray(b"value")
+    kv.put(key, value)
+    value[0] = 0
+    assert kv.get(b"key") == b"value"
+
+
+def test_keys_insertion_order(kv):
+    for k in (b"c", b"a", b"b"):
+        kv.put(k, b"v")
+    assert list(kv.keys()) == [b"c", b"a", b"b"]
+
+
+def test_version_bumps_on_mutation(kv):
+    v0 = kv.version
+    kv.put(b"k", b"v")
+    assert kv.version == v0 + 1
+    kv.remove(b"k")
+    assert kv.version == v0 + 2
+
+
+def test_nbytes(kv):
+    kv.put(b"abc", b"defg")
+    assert kv.nbytes == 7

@@ -1,0 +1,64 @@
+"""Object classes and lookup."""
+
+import pytest
+
+from repro.daos.errors import InvalidArgumentError
+from repro.daos.objclass import (
+    OC_RP_2G1,
+    OC_S1,
+    OC_S2,
+    OC_S4,
+    OC_SX,
+    ObjectClass,
+    object_class_by_id,
+    object_class_by_name,
+)
+
+
+def test_resolve_stripes_fixed_classes():
+    assert OC_S1.resolve_stripes(24) == 1
+    assert OC_S2.resolve_stripes(24) == 2
+    assert OC_S4.resolve_stripes(24) == 4
+
+
+def test_resolve_stripes_sx_uses_all_targets():
+    assert OC_SX.resolve_stripes(24) == 24
+    assert OC_SX.resolve_stripes(5) == 5
+
+
+def test_resolve_stripes_clamped_to_pool():
+    assert OC_S4.resolve_stripes(2) == 2
+
+
+def test_resolve_stripes_validates_pool():
+    with pytest.raises(InvalidArgumentError):
+        OC_S1.resolve_stripes(0)
+
+
+def test_replication_extension():
+    assert OC_RP_2G1.replicas == 2
+    assert OC_RP_2G1.resolve_stripes(24) == 1
+
+
+def test_lookup_by_name_case_insensitive():
+    assert object_class_by_name("sx") is OC_SX
+    assert object_class_by_name("S2") is OC_S2
+    with pytest.raises(InvalidArgumentError, match="unknown object class"):
+        object_class_by_name("S3")
+
+
+def test_lookup_by_id():
+    assert object_class_by_id(OC_S1.class_id) is OC_S1
+    with pytest.raises(InvalidArgumentError):
+        object_class_by_id(9999)
+
+
+def test_invalid_definitions_rejected():
+    with pytest.raises(InvalidArgumentError):
+        ObjectClass("bad", class_id=99, stripe_count=0)
+    with pytest.raises(InvalidArgumentError):
+        ObjectClass("bad", class_id=99, stripe_count=1, replicas=0)
+
+
+def test_str():
+    assert str(OC_SX) == "SX"

@@ -1,0 +1,92 @@
+"""128-bit OIDs: layout, class encoding, allocation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.daos.errors import InvalidArgumentError
+from repro.daos.objclass import OC_S2, OC_SX
+from repro.daos.oid import ObjectId, OidAllocator
+
+U32 = (1 << 32) - 1
+U64 = (1 << 64) - 1
+
+
+def test_from_user_layout():
+    oid = ObjectId.from_user(0xABCD, 0x1234, oclass_id=7)
+    assert oid.user_hi == 0xABCD
+    assert oid.lo == 0x1234
+    assert oid.oclass_id == 7
+
+
+def test_bounds_validated():
+    with pytest.raises(InvalidArgumentError):
+        ObjectId(hi=-1, lo=0)
+    with pytest.raises(InvalidArgumentError):
+        ObjectId(hi=0, lo=1 << 64)
+    with pytest.raises(InvalidArgumentError):
+        ObjectId.from_user(U32 + 1, 0)
+    with pytest.raises(InvalidArgumentError):
+        ObjectId.from_user(0, U64 + 1)
+    with pytest.raises(InvalidArgumentError):
+        ObjectId.from_user(0, 0, oclass_id=U32 + 1)
+
+
+def test_with_class_preserves_user_bits():
+    oid = ObjectId.from_user(0x42, 0x99)
+    classed = oid.with_class(OC_SX)
+    assert classed.oclass_id == OC_SX.class_id
+    assert classed.user_hi == 0x42
+    assert classed.lo == 0x99
+    reclassed = classed.with_class(OC_S2)
+    assert reclassed.oclass_id == OC_S2.class_id
+    assert reclassed.user_hi == 0x42
+
+
+def test_int_and_str():
+    oid = ObjectId(hi=1, lo=2)
+    assert int(oid) == (1 << 64) | 2
+    assert str(oid) == "0000000000000001.0000000000000002"
+
+
+def test_ordering_and_hash():
+    a = ObjectId(hi=0, lo=1)
+    b = ObjectId(hi=0, lo=2)
+    assert a < b
+    assert len({a, b, ObjectId(hi=0, lo=1)}) == 2
+
+
+def test_from_digest():
+    digest = bytes(range(16))
+    oid = ObjectId.from_digest(digest, oclass_id=3)
+    assert oid.oclass_id == 3
+    assert oid.user_hi == int.from_bytes(digest[:4], "big")
+    assert oid.lo == int.from_bytes(digest[4:12], "big")
+    with pytest.raises(InvalidArgumentError):
+        ObjectId.from_digest(b"short")
+
+
+def test_allocator_unique_and_deterministic():
+    allocator = OidAllocator()
+    oids = [allocator.allocate() for _ in range(100)]
+    assert len(set(oids)) == 100
+    fresh = OidAllocator()
+    assert [fresh.allocate() for _ in range(100)] == oids
+
+
+def test_allocator_embeds_class():
+    allocator = OidAllocator()
+    oid = allocator.allocate(oclass_id=OC_SX.class_id)
+    assert oid.oclass_id == OC_SX.class_id
+
+
+@given(
+    user_hi=st.integers(min_value=0, max_value=U32),
+    user_lo=st.integers(min_value=0, max_value=U64),
+    oclass_id=st.integers(min_value=0, max_value=U32),
+)
+@settings(max_examples=100, deadline=None)
+def test_user_bits_roundtrip(user_hi, user_lo, oclass_id):
+    oid = ObjectId.from_user(user_hi, user_lo, oclass_id)
+    assert oid.user_hi == user_hi
+    assert oid.lo == user_lo
+    assert oid.oclass_id == oclass_id

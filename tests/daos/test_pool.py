@@ -1,0 +1,102 @@
+"""Pool capacity accounting and container registry."""
+
+import uuid
+
+import pytest
+
+from repro.daos.errors import (
+    ContainerExistsError,
+    ContainerNotFoundError,
+    NoSpaceError,
+)
+from repro.daos.pool import Pool
+
+
+@pytest.fixture
+def pool():
+    return Pool(uuid.uuid4(), label="p", n_targets=4, scm_bytes_per_target=1000)
+
+
+def test_capacity_arithmetic(pool):
+    assert pool.capacity == 4000
+    assert pool.free == 4000
+    pool.charge(0, 300)
+    assert pool.used == 300
+    assert pool.free == 3700
+    assert pool.target_used(0) == 300
+    assert pool.target_used(1) == 0
+
+
+def test_per_target_overflow_even_when_pool_has_space(pool):
+    pool.charge(0, 900)
+    with pytest.raises(NoSpaceError, match="target 0 full"):
+        pool.charge(0, 200)
+    pool.charge(1, 200)  # other targets unaffected
+
+
+def test_refund(pool):
+    pool.charge(2, 500)
+    pool.refund(2, 500)
+    assert pool.used == 0
+    with pytest.raises(ValueError):
+        pool.refund(2, 1)
+
+
+def test_charge_validation(pool):
+    with pytest.raises(ValueError):
+        pool.charge(0, -1)
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        Pool(uuid.uuid4(), "p", n_targets=0, scm_bytes_per_target=1)
+    with pytest.raises(ValueError):
+        Pool(uuid.uuid4(), "p", n_targets=1, scm_bytes_per_target=0)
+
+
+def test_container_create_and_open_by_uuid_and_label(pool):
+    container = pool.create_container(label="main")
+    assert pool.open_container("main") is container
+    assert pool.open_container(container.uuid) is container
+    assert container.open_handles == 2
+
+
+def test_container_uuid_clash(pool):
+    cid = uuid.uuid4()
+    pool.create_container(uuid=cid)
+    with pytest.raises(ContainerExistsError):
+        pool.create_container(uuid=cid)
+
+
+def test_container_label_clash(pool):
+    pool.create_container(label="x")
+    with pytest.raises(ContainerExistsError):
+        pool.create_container(label="x")
+
+
+def test_open_missing_container(pool):
+    with pytest.raises(ContainerNotFoundError):
+        pool.open_container("missing")
+    assert not pool.has_container("missing")
+
+
+def test_md5_race_semantics(pool):
+    """Two creators deriving the same uuid: one wins, the loser can open."""
+    cid = uuid.uuid4()
+    winner = pool.create_container(uuid=cid)
+    with pytest.raises(ContainerExistsError):
+        pool.create_container(uuid=cid)
+    assert pool.open_container(cid) is winner
+
+
+def test_default_flag_propagates(pool):
+    container = pool.create_container(label="root", is_default=True)
+    assert container.is_default
+    assert not pool.create_container(label="other").is_default
+
+
+def test_n_containers(pool):
+    assert pool.n_containers == 0
+    pool.create_container()
+    pool.create_container()
+    assert pool.n_containers == 2

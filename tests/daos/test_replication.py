@@ -1,0 +1,78 @@
+"""Replicated object classes: write fan-out, read replica selection."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.daos.objclass import OC_RP_2G1, OC_S1
+from repro.daos.payload import PatternPayload
+from repro.daos.system import DaosSystem
+from repro.hardware.topology import Cluster
+from repro.units import MiB
+from tests.conftest import run_process
+
+
+def make_env(**kwargs):
+    kwargs.setdefault("n_server_nodes", 1)
+    kwargs.setdefault("n_client_nodes", 1)
+    cluster = Cluster(ClusterConfig(**kwargs))
+    system = DaosSystem(cluster)
+    pool = system.create_pool()
+    client = DaosClient(system, cluster.client_addresses(1)[0])
+    return cluster, system, pool, client
+
+
+def write_one(client, pool, oclass, size):
+    container = yield from client.container_create(pool, label="c", is_default=True)
+    array = yield from client.array_create(container, oclass)
+    yield from client.array_write(array, 0, PatternPayload(size, seed=1), pool=pool)
+    return array
+
+
+def test_replicated_layout_has_two_groups():
+    cluster, _, pool, client = make_env()
+    array = run_process(cluster, write_one(client, pool, OC_RP_2G1, 1 * MiB))
+    assert len(array.layout) == 2
+    assert array.layout[0] != array.layout[1]
+
+
+def test_replicated_write_charges_both_replicas():
+    cluster, _, pool, client = make_env()
+    array = run_process(cluster, write_one(client, pool, OC_RP_2G1, 2 * MiB))
+    assert pool.used == 4 * MiB  # 2 MiB x 2 replicas
+    for target in array.layout:
+        assert pool.target_used(target) == 2 * MiB
+
+
+def test_replicated_write_slower_than_plain():
+    def timed(oclass):
+        cluster, _, pool, client = make_env()
+        run_process(cluster, write_one(client, pool, oclass, 8 * MiB))
+        return cluster.sim.now
+
+    assert timed(OC_RP_2G1) > timed(OC_S1)
+
+
+def test_replicated_read_roundtrip_from_one_replica():
+    cluster, system, pool, client = make_env(n_client_nodes=2)
+    data = PatternPayload(2 * MiB, seed=5)
+
+    def flow(client, pool):
+        container = yield from client.container_create(pool, label="c", is_default=True)
+        array = yield from client.array_create(container, OC_RP_2G1)
+        yield from client.array_write(array, 0, data, pool=pool)
+        return array
+
+    array = run_process(cluster, flow(client, pool))
+
+    # Readers at different addresses select different replicas but get the
+    # same bytes.
+    addresses = cluster.client_addresses(2)
+    selections = set()
+    for address in addresses[:2]:
+        reader = DaosClient(system, address)
+        payload = run_process(cluster, reader.array_read(array, 0, data.size))
+        assert payload == data
+        selections.add(reader._replica_targets(array, 0, write=False)[0])
+    assert selections <= set(array.layout)
+    assert len(selections) == 2  # the two sockets pick different replicas

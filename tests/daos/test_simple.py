@@ -1,0 +1,64 @@
+"""pydaos-style blocking API."""
+
+import pytest
+
+from repro.daos.errors import KeyNotFoundError
+from repro.daos.objclass import OC_S2
+from repro.daos.simple import SimpleDaos
+
+
+@pytest.fixture
+def daos():
+    return SimpleDaos()
+
+
+def test_dict_mapping_protocol(daos):
+    d = daos.dict()
+    d[b"k1"] = b"v1"
+    d[b"k2"] = b"v2"
+    assert d[b"k1"] == b"v1"
+    assert b"k2" in d
+    assert b"k3" not in d
+    assert d.get(b"k3") is None
+    assert d.get(b"k3", b"fallback") == b"fallback"
+    assert sorted(d.keys()) == [b"k1", b"k2"]
+    assert len(d) == 2
+    del d[b"k1"]
+    assert b"k1" not in d
+    with pytest.raises(KeyNotFoundError):
+        d[b"k1"]
+
+
+def test_dict_iteration(daos):
+    d = daos.dict()
+    for key in (b"a", b"b"):
+        d[key] = b"x"
+    assert list(d) == [b"a", b"b"]
+
+
+def test_two_dicts_are_independent(daos):
+    d1, d2 = daos.dict(), daos.dict()
+    d1[b"k"] = b"one"
+    assert b"k" not in d2
+
+
+def test_array_read_write(daos):
+    a = daos.array()
+    a.write(0, b"hello world")
+    assert a.read(0, 5) == b"hello"
+    assert a.size() == 11
+    a.truncate(5)
+    assert a.size() == 5
+
+
+def test_array_oclass_selectable(daos):
+    a = daos.array(oclass=OC_S2)
+    a.write(0, b"x" * (3 * 1024 * 1024))
+    assert len(a._array.layout) == 2
+
+
+def test_operations_consume_time(daos):
+    t0 = daos.elapsed
+    d = daos.dict()
+    d[b"k"] = b"v"
+    assert daos.elapsed > t0

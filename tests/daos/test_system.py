@@ -1,0 +1,85 @@
+"""DaosSystem assembly: engines, targets, pools, object registration."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.daos.errors import InvalidArgumentError
+from repro.daos.kv import KeyValueObject
+from repro.daos.objclass import OC_S2, OC_SX
+from repro.daos.oid import ObjectId
+from repro.daos.system import DaosSystem
+from repro.hardware.topology import Cluster
+from repro.network.fabric import NodeSocket
+
+
+def make_system(**kwargs):
+    cluster = Cluster(ClusterConfig(**kwargs))
+    return DaosSystem(cluster)
+
+
+def test_engine_and_target_inventory():
+    system = make_system(n_server_nodes=2, n_client_nodes=1)
+    assert len(system.engines) == 4
+    assert system.n_targets == 4 * 12
+    assert [t.global_index for t in system.targets] == list(range(48))
+
+
+def test_targets_know_their_engine():
+    system = make_system(n_server_nodes=2, n_client_nodes=1)
+    assert system.engine_of_target(0) == NodeSocket(0, 0)
+    assert system.engine_of_target(12) == NodeSocket(0, 1)
+    assert system.engine_of_target(24) == NodeSocket(1, 0)
+
+
+def test_single_engine_deployment():
+    system = make_system(n_server_nodes=1, n_client_nodes=1, engines_per_server=1)
+    assert len(system.engines) == 1
+    assert system.n_targets == 12
+
+
+def test_create_pool_reserves_scm():
+    system = make_system(n_server_nodes=1, n_client_nodes=1)
+    region = system.cluster.scm_region(NodeSocket(0, 0))
+    free_before = region.free
+    pool = system.create_pool()
+    assert pool.n_targets == 24
+    assert region.free < free_before
+    # Full-region default reservation: 12 targets worth per engine.
+    assert region.used == pool.scm_bytes_per_target * 12
+
+
+def test_duplicate_pool_label_rejected():
+    system = make_system(n_server_nodes=1, n_client_nodes=1)
+    system.create_pool("p")
+    with pytest.raises(InvalidArgumentError):
+        system.create_pool("p")
+
+
+def test_register_object_sets_layout_and_lock():
+    system = make_system(n_server_nodes=1, n_client_nodes=1)
+    kv = KeyValueObject(ObjectId.from_user(0, 1), OC_SX)
+    system.register_object(kv, OC_SX)
+    assert sorted(kv.layout) == list(range(24))
+    assert kv.lock is not None
+    kv2 = KeyValueObject(ObjectId.from_user(0, 2), OC_S2)
+    system.register_object(kv2, OC_S2)
+    assert len(kv2.layout) == 2
+
+
+def test_deterministic_uuids_depend_on_seed():
+    s1 = make_system(n_server_nodes=1, n_client_nodes=1, seed=1)
+    s2 = make_system(n_server_nodes=1, n_client_nodes=1, seed=1)
+    s3 = make_system(n_server_nodes=1, n_client_nodes=1, seed=2)
+    assert s1.deterministic_uuid("x") == s2.deterministic_uuid("x")
+    assert s1.deterministic_uuid("x") != s3.deterministic_uuid("x")
+
+
+def test_pool_service_is_serial():
+    system = make_system(n_server_nodes=1, n_client_nodes=1)
+    assert system.pool_service.capacity == 1
+
+
+def test_target_concurrency_from_config():
+    system = make_system(n_server_nodes=1, n_client_nodes=1)
+    expected = system.config.target_concurrency
+    assert all(t.service.capacity == expected for t in system.targets)

@@ -1,0 +1,60 @@
+"""Experiment result containers."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.units import GiB
+
+
+def test_scale_factory():
+    assert Scale.of("ci").name == "ci"
+    assert Scale.of("paper").is_paper
+    assert not Scale.of("ci").is_paper
+    with pytest.raises(ValueError):
+        Scale.of("huge")
+
+
+def test_series_lookup_and_units():
+    series = Series("write", [1, 2, 4], [1 * GiB, 2 * GiB, 4 * GiB])
+    assert series.y_at(2) == 2 * GiB
+    assert series.ys_gib == [1.0, 2.0, 4.0]
+    with pytest.raises(KeyError):
+        series.y_at(8)
+
+
+def test_series_length_validation():
+    with pytest.raises(ValueError):
+        Series("bad", [1], [1.0, 2.0])
+
+
+def test_series_nondecreasing():
+    rising = Series("r", [1, 2, 3], [1.0, 2.0, 3.0])
+    assert rising.is_nondecreasing()
+    dipping = Series("d", [1, 2, 3], [1.0, 2.0, 1.0])
+    assert not dipping.is_nondecreasing()
+    # Tolerance absorbs small dips.
+    wobbling = Series("w", [1, 2, 3], [1.0, 2.0, 1.96])
+    assert wobbling.is_nondecreasing(tolerance=0.05)
+
+
+def test_result_series_by_name():
+    result = ExperimentResult("x", "title", series=[Series("a", [1], [1.0])])
+    assert result.series_by_name("a").name == "a"
+    with pytest.raises(KeyError):
+        result.series_by_name("b")
+
+
+def test_render_contains_everything():
+    result = ExperimentResult(
+        "exp1",
+        "the title",
+        headers=["h1"],
+        rows=[["v1"]],
+        series=[Series("s", [1], [1 * GiB])],
+        notes=["a note"],
+    )
+    text = result.render()
+    assert "exp1" in text and "the title" in text
+    assert "h1" in text and "v1" in text
+    assert "s [GiB/s]" in text
+    assert "note: a note" in text

@@ -1,0 +1,39 @@
+"""Experiment registry and the fast drivers (table1/table2 smoke)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7"
+    }
+
+
+def test_get_experiment_unknown():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_get_experiment_case_insensitive():
+    assert get_experiment("TABLE1") is EXPERIMENTS["table1"]
+
+
+def test_run_experiment_table2_smoke():
+    result = run_experiment("table2", scale="ci")
+    assert result.experiment == "table2"
+    assert len(result.rows) == 6
+    providers = [row[0] for row in result.rows]
+    assert providers.count("TCP") == 5 and providers.count("PSM2") == 1
+
+
+def test_run_experiment_table1_smoke():
+    result = run_experiment("table1", scale="ci")
+    assert len(result.rows) == 3
+    assert result.headers[0] == "server nodes"
+
+
+def test_run_experiment_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        run_experiment("table2", scale="gigantic")

@@ -1,0 +1,94 @@
+"""FieldKey: canonical encoding, round trips, container UUID derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fdb.key import FieldKey
+
+component = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+
+def test_construction_sorts_components():
+    key = FieldKey({"b": "2", "a": "1"})
+    assert list(key) == ["a", "b"]
+    assert key.canonical() == "a=1,b=2"
+
+
+def test_mapping_protocol():
+    key = FieldKey({"class": "od", "date": "20201224"})
+    assert key["class"] == "od"
+    assert len(key) == 2
+    assert "date" in key
+    assert dict(key) == {"class": "od", "date": "20201224"}
+
+
+def test_equality_and_hash():
+    a = FieldKey({"x": "1", "y": "2"})
+    b = FieldKey({"y": "2", "x": "1"})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a == {"x": "1", "y": "2"}
+    assert a != FieldKey({"x": "1"})
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FieldKey({"": "v"})
+    with pytest.raises(ValueError):
+        FieldKey({"k": ""})
+    with pytest.raises(ValueError):
+        FieldKey({"k=x": "v"})
+    with pytest.raises(ValueError):
+        FieldKey({"k": "a,b"})
+    with pytest.raises(ValueError):
+        FieldKey({"k": 5})
+
+
+def test_subset_and_merged():
+    key = FieldKey({"a": "1", "b": "2", "c": "3"})
+    assert key.subset(["a", "c"]) == FieldKey({"a": "1", "c": "3"})
+    with pytest.raises(KeyError):
+        key.subset(["a", "z"])
+    merged = key.merged({"d": "4", "a": "9"})
+    assert merged["d"] == "4" and merged["a"] == "9"
+    assert key["a"] == "1"  # original untouched
+
+
+def test_encode_decode_roundtrip():
+    key = FieldKey({"class": "od", "date": "20201224", "param": "t"})
+    assert FieldKey.decode(key.encode()) == key
+
+
+def test_decode_malformed():
+    with pytest.raises(ValueError):
+        FieldKey.decode(b"")
+    with pytest.raises(ValueError):
+        FieldKey.decode(b"novalue")
+
+
+def test_md5_is_stable_and_order_independent():
+    a = FieldKey({"x": "1", "y": "2"}).md5()
+    b = FieldKey({"y": "2", "x": "1"}).md5()
+    assert a == b
+    assert len(a) == 16
+
+
+def test_container_uuid_roles_differ():
+    key = FieldKey({"class": "od", "date": "20201224"})
+    index_uuid = key.container_uuid("index")
+    store_uuid = key.container_uuid("store")
+    assert index_uuid != store_uuid
+    # Stable across processes (md5-derived, §4).
+    assert index_uuid == FieldKey({"date": "20201224", "class": "od"}).container_uuid("index")
+
+
+@given(pairs=st.dictionaries(component, component, min_size=1, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(pairs):
+    key = FieldKey(pairs)
+    assert FieldKey.decode(key.encode()) == key
+    assert key.canonical() == FieldKey(dict(reversed(list(pairs.items())))).canonical()

@@ -1,0 +1,86 @@
+"""MARS-style request expansion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fdb.request import Request
+from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema, SchemaError
+
+
+def full_spec(**overrides):
+    spec = {
+        "class": "od", "stream": "oper", "expver": "0001",
+        "date": "20201224", "time": "12", "type": "fc",
+        "levtype": "pl", "levelist": "500", "param": "t", "step": "6",
+    }
+    spec.update(overrides)
+    return spec
+
+
+def test_single_valued_request_expands_to_one_key():
+    request = Request(full_spec())
+    keys = request.expand()
+    assert len(keys) == request.n_fields == 1
+    assert keys[0]["param"] == "t"
+
+
+def test_cartesian_expansion():
+    request = Request(full_spec(param=("t", "u"), step=("0", "6", "12")))
+    keys = request.expand()
+    assert len(keys) == request.n_fields == 6
+    assert {(k["param"], k["step"]) for k in keys} == {
+        ("t", "0"), ("t", "6"), ("t", "12"), ("u", "0"), ("u", "6"), ("u", "12"),
+    }
+
+
+def test_expansion_is_deterministic():
+    request = Request(full_spec(param=("u", "t")))
+    assert [k.canonical() for k in request.expand()] == [
+        k.canonical() for k in Request(full_spec(param=("u", "t"))).expand()
+    ]
+
+
+def test_expansion_validates_schema():
+    with pytest.raises(SchemaError):
+        Request({"param": "t"}).expand(DEFAULT_SCHEMA)
+
+
+def test_parse_shorthand():
+    request = Request.parse("param=t/u, step=0/6")
+    assert request.components() == {"param": ("t", "u"), "step": ("0", "6")}
+    assert request == Request({"param": ("t", "u"), "step": ("0", "6")})
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        Request.parse("")
+    with pytest.raises(ValueError):
+        Request.parse("novalue")
+    with pytest.raises(ValueError):
+        Request.parse("=x")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Request({})
+    with pytest.raises(ValueError):
+        Request({"param": ()})
+    with pytest.raises(ValueError):
+        Request({"param": ("t", "t")})
+
+
+@given(
+    n_params=st.integers(min_value=1, max_value=4),
+    n_steps=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_n_fields_matches_expansion(n_params, n_steps):
+    schema = KeySchema(most_significant=("run",), least_significant=("param", "step"))
+    request = Request(
+        {
+            "run": "1",
+            "param": tuple(f"p{i}" for i in range(n_params)),
+            "step": tuple(str(i) for i in range(n_steps)),
+        }
+    )
+    assert len(request.expand(schema)) == request.n_fields == n_params * n_steps

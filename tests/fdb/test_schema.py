@@ -1,0 +1,56 @@
+"""Key schema: validation and the msk/lsk split."""
+
+import pytest
+
+from repro.fdb.key import FieldKey
+from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema, SchemaError
+
+
+def full_key():
+    return FieldKey(
+        {
+            "class": "od", "stream": "oper", "expver": "0001",
+            "date": "20201224", "time": "12", "type": "fc",
+            "levtype": "pl", "levelist": "500", "param": "t", "step": "6",
+        }
+    )
+
+
+def test_default_schema_validates_full_key():
+    DEFAULT_SCHEMA.validate(full_key())
+
+
+def test_missing_component_rejected():
+    key = FieldKey({"class": "od"})
+    with pytest.raises(SchemaError, match="lacks components"):
+        DEFAULT_SCHEMA.validate(key)
+
+
+def test_unknown_component_rejected():
+    key = full_key().merged({"bogus": "1"})
+    with pytest.raises(SchemaError, match="unknown components"):
+        DEFAULT_SCHEMA.validate(key)
+
+
+def test_msk_lsk_split():
+    key = full_key()
+    msk = DEFAULT_SCHEMA.msk(key)
+    lsk = DEFAULT_SCHEMA.lsk(key)
+    assert set(msk) == {"class", "stream", "expver", "date", "time"}
+    assert set(lsk) == {"type", "levtype", "levelist", "param", "step"}
+    assert msk.merged(lsk) == key
+
+
+def test_schema_construction_validation():
+    with pytest.raises(ValueError):
+        KeySchema(most_significant=(), least_significant=("a",))
+    with pytest.raises(ValueError, match="both levels"):
+        KeySchema(most_significant=("a", "b"), least_significant=("b",))
+
+
+def test_custom_schema():
+    schema = KeySchema(most_significant=("run",), least_significant=("var",))
+    key = FieldKey({"run": "1", "var": "t"})
+    schema.validate(key)
+    assert schema.msk(key) == FieldKey({"run": "1"})
+    assert schema.all_components == ("run", "var")

@@ -1,0 +1,71 @@
+"""FDB blocking facade."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.fdb import FDB, FieldIOMode, FieldKey
+
+
+def full_key(**overrides):
+    base = {
+        "class": "od", "stream": "oper", "expver": "0001",
+        "date": "20201224", "time": "12", "type": "fc",
+        "levtype": "pl", "levelist": "500", "param": "t", "step": "6",
+    }
+    base.update(overrides)
+    return base
+
+
+def test_archive_retrieve_with_dict_keys():
+    fdb = FDB()
+    fdb.archive(full_key(), b"payload")
+    assert fdb.retrieve(full_key()) == b"payload"
+
+
+def test_archive_retrieve_with_fieldkey():
+    fdb = FDB()
+    key = FieldKey(full_key())
+    fdb.archive(key, b"data")
+    assert fdb.retrieve(key) == b"data"
+
+
+def test_exists_and_list():
+    fdb = FDB()
+    fdb.archive(full_key(step="0"), b"a")
+    fdb.archive(full_key(step="6"), b"b")
+    assert fdb.exists(full_key(step="0"))
+    assert not fdb.exists(full_key(step="12"))
+    msk = {k: full_key()[k] for k in ("class", "stream", "expver", "date", "time")}
+    assert len(fdb.list_fields(msk)) == 2
+
+
+def test_elapsed_accumulates():
+    fdb = FDB()
+    t0 = fdb.elapsed
+    fdb.archive(full_key(), b"x" * 1024)
+    t1 = fdb.elapsed
+    assert t1 > t0
+    fdb.retrieve(full_key())
+    assert fdb.elapsed > t1
+
+
+def test_mode_selection():
+    fdb = FDB(mode=FieldIOMode.NO_INDEX)
+    fdb.archive(full_key(), b"q")
+    assert fdb.retrieve(full_key()) == b"q"
+    assert fdb.pool.n_containers == 1
+
+
+def test_custom_config():
+    fdb = FDB(config=ClusterConfig(n_server_nodes=2, n_client_nodes=2))
+    assert len(fdb.system.engines) == 4
+    fdb.archive(full_key(), b"multi")
+    assert fdb.retrieve(full_key()) == b"multi"
+
+
+def test_retrieve_missing_raises():
+    from repro.fdb.fieldio import FieldNotFoundError
+
+    fdb = FDB()
+    with pytest.raises(FieldNotFoundError):
+        fdb.retrieve(full_key())

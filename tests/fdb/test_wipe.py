@@ -1,0 +1,86 @@
+"""Wipe and bulk retrieval on the FDB facade."""
+
+import pytest
+
+from repro.fdb import FDB, FieldIOMode, FieldKey, FieldNotFoundError, Request
+from repro.units import MiB
+
+
+def full_key(**overrides):
+    base = {
+        "class": "od", "stream": "oper", "expver": "0001",
+        "date": "20201224", "time": "12", "type": "fc",
+        "levtype": "pl", "levelist": "500", "param": "t", "step": "6",
+    }
+    base.update(overrides)
+    return base
+
+
+def forecast_of(key):
+    return {k: key[k] for k in ("class", "stream", "expver", "date", "time")}
+
+
+def test_retrieve_request_fetches_all_fields():
+    fdb = FDB()
+    for param in ("t", "u"):
+        for step in ("0", "6"):
+            fdb.archive(full_key(param=param, step=step), f"{param}{step}".encode())
+    request = Request(full_key(param=("t", "u"), step=("0", "6")))
+    results = fdb.retrieve_request(request)
+    assert len(results) == 4
+    assert results[FieldKey(full_key(param="u", step="6"))] == b"u6"
+
+
+def test_retrieve_request_accepts_dict_and_string():
+    fdb = FDB()
+    fdb.archive(full_key(), b"x")
+    spec = {k: v for k, v in full_key().items()}
+    assert len(fdb.retrieve_request(spec)) == 1
+    text = ",".join(f"{k}={v}" for k, v in full_key().items())
+    assert len(fdb.retrieve_request(text)) == 1
+
+
+def test_retrieve_request_missing_field_fails():
+    fdb = FDB()
+    fdb.archive(full_key(step="0"), b"x")
+    request = Request(full_key(step=("0", "6")))
+    with pytest.raises(FieldNotFoundError):
+        fdb.retrieve_request(request)
+
+
+@pytest.mark.parametrize("mode", [FieldIOMode.FULL, FieldIOMode.NO_CONTAINERS])
+def test_wipe_removes_fields_and_refunds_pool(mode):
+    fdb = FDB(mode=mode)
+    keys = [full_key(step=str(s)) for s in (0, 6, 12)]
+    for key in keys:
+        fdb.archive(key, b"z" * MiB)
+    used_before = fdb.pool.used
+    assert used_before >= 3 * MiB
+
+    removed = fdb.wipe(forecast_of(keys[0]))
+    assert removed == 3
+    assert fdb.pool.used < used_before
+    for key in keys:
+        assert not fdb.exists(key)
+
+
+def test_wipe_then_rearchive():
+    fdb = FDB()
+    key = full_key()
+    fdb.archive(key, b"first")
+    fdb.wipe(forecast_of(key))
+    fdb.archive(key, b"second")
+    assert fdb.retrieve(key) == b"second"
+
+
+def test_wipe_unknown_forecast_fails():
+    fdb = FDB()
+    with pytest.raises(FieldNotFoundError):
+        fdb.wipe(forecast_of(full_key()))
+
+
+def test_wipe_unsupported_in_no_index():
+    fdb = FDB(mode=FieldIOMode.NO_INDEX)
+    fdb.archive(full_key(), b"x")
+    with pytest.raises(FieldNotFoundError, match="requires an index"):
+        fdb.wipe(forecast_of(full_key()))

@@ -1,0 +1,38 @@
+"""Node layout and the §6.1.2 pinning policy."""
+
+import pytest
+
+from repro.hardware.node import Node, Socket, pin_processes
+
+
+def test_node_builds_sockets():
+    node = Node(name="n0", n_sockets=2)
+    assert [s.index for s in node.sockets] == [0, 1]
+    assert node.total_scm == 2 * 6 * 256 * 1024**3
+
+
+def test_node_socket_count_validation():
+    with pytest.raises(ValueError):
+        Node(name="bad", n_sockets=0)
+    with pytest.raises(ValueError, match="does not match"):
+        Node(name="bad", n_sockets=2, sockets=[Socket(0)])
+
+
+def test_pinning_is_balanced_round_robin():
+    assert pin_processes(5, 2) == [0, 1, 0, 1, 0]
+    assert pin_processes(4, 2) == [0, 1, 0, 1]
+    assert pin_processes(3, 1) == [0, 0, 0]
+
+
+def test_pinning_balance_property():
+    pins = pin_processes(97, 4)
+    counts = [pins.count(s) for s in range(4)]
+    assert max(counts) - min(counts) <= 1
+
+
+def test_pinning_validation():
+    with pytest.raises(ValueError):
+        pin_processes(-1, 2)
+    with pytest.raises(ValueError):
+        pin_processes(4, 0)
+    assert pin_processes(0, 2) == []

@@ -1,0 +1,100 @@
+"""SCM capacity accounting: modules, interleaved regions, invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.scm import OutOfSpaceError, ScmModule, ScmRegion
+
+
+def test_module_capacity_positive():
+    with pytest.raises(ValueError):
+        ScmModule(0)
+
+
+def test_module_allocate_release_roundtrip():
+    module = ScmModule(100)
+    module.allocate(60)
+    assert module.used == 60 and module.free == 40
+    module.release(60)
+    assert module.used == 0
+
+
+def test_module_overallocation_rejected():
+    module = ScmModule(100)
+    with pytest.raises(OutOfSpaceError):
+        module.allocate(101)
+    assert module.used == 0
+
+
+def test_module_overrelease_rejected():
+    module = ScmModule(100)
+    module.allocate(10)
+    with pytest.raises(ValueError):
+        module.release(11)
+
+
+def test_module_negative_amounts_rejected():
+    module = ScmModule(100)
+    with pytest.raises(ValueError):
+        module.allocate(-1)
+    with pytest.raises(ValueError):
+        module.release(-1)
+
+
+def test_region_defaults_match_nextgenio_socket():
+    region = ScmRegion()
+    assert len(region.modules) == 6
+    assert region.capacity == 6 * 256 * 1024**3
+
+
+def test_region_interleaves_evenly():
+    region = ScmRegion(n_modules=4, module_capacity=100)
+    region.allocate(40)
+    assert [m.used for m in region.modules] == [10, 10, 10, 10]
+
+
+def test_region_uneven_amount_spreads_remainder():
+    region = ScmRegion(n_modules=4, module_capacity=100)
+    region.allocate(10)
+    assert sorted(m.used for m in region.modules) == [2, 2, 3, 3]
+    assert region.used == 10
+
+
+def test_region_spills_when_modules_unevenly_full():
+    region = ScmRegion(n_modules=2, module_capacity=100)
+    region.modules[0].allocate(90)  # skew one module
+    region.allocate(100)  # even split would need 50+50 but m0 has only 10
+    assert region.used == 190
+    assert region.free == 10
+
+
+def test_region_full_rejected_without_state_change():
+    region = ScmRegion(n_modules=2, module_capacity=10)
+    region.allocate(15)
+    with pytest.raises(OutOfSpaceError):
+        region.allocate(6)
+    assert region.used == 15
+
+
+@given(
+    amounts=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30)
+)
+@settings(max_examples=50, deadline=None)
+def test_region_accounting_invariant(amounts):
+    """used == sum of successful allocations - releases, never exceeding capacity."""
+    region = ScmRegion(n_modules=3, module_capacity=1000)
+    expected = 0
+    for i, amount in enumerate(amounts):
+        if i % 3 == 2 and expected >= amount:
+            region.release(amount)
+            expected -= amount
+        else:
+            try:
+                region.allocate(amount)
+                expected += amount
+            except OutOfSpaceError:
+                assert amount > region.capacity - expected
+    assert region.used == expected
+    assert 0 <= region.used <= region.capacity
+    assert region.used == sum(m.used for m in region.modules)
+    assert all(0 <= m.used <= m.capacity for m in region.modules)

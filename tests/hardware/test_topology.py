@@ -1,0 +1,76 @@
+"""Cluster assembly from a ClusterConfig."""
+
+import pytest
+
+from repro.config import ClusterConfig, PSM2_PROVIDER
+from repro.hardware.topology import Cluster
+from repro.network.fabric import NodeSocket
+
+
+def test_cluster_builds_nodes_and_fabric(small_config):
+    cluster = Cluster(small_config)
+    assert len(cluster.server_nodes) == 1
+    assert len(cluster.client_nodes) == 1
+    assert cluster.engine_addresses == [NodeSocket(0, 0), NodeSocket(0, 1)]
+
+
+def test_client_addresses_balanced_across_sockets(small_config):
+    cluster = Cluster(small_config)
+    addrs = cluster.client_addresses(4)
+    assert addrs == [
+        NodeSocket(0, 0), NodeSocket(0, 1), NodeSocket(0, 0), NodeSocket(0, 1)
+    ]
+
+
+def test_client_addresses_multi_node_fills_nodes_in_rank_order():
+    cluster = Cluster(ClusterConfig(n_server_nodes=1, n_client_nodes=2))
+    addrs = cluster.client_addresses(2)
+    assert addrs == [
+        NodeSocket(0, 0), NodeSocket(0, 1), NodeSocket(1, 0), NodeSocket(1, 1)
+    ]
+
+
+def test_client_addresses_single_socket_config():
+    cluster = Cluster(ClusterConfig(n_server_nodes=1, n_client_nodes=1, client_sockets=1))
+    assert cluster.client_addresses(3) == [NodeSocket(0, 0)] * 3
+
+
+def test_client_addresses_validation(small_config):
+    with pytest.raises(ValueError):
+        Cluster(small_config).client_addresses(0)
+
+
+def test_scm_region_lookup(small_config):
+    cluster = Cluster(small_config)
+    region = cluster.scm_region(NodeSocket(0, 1))
+    assert region is cluster.server_nodes[0].sockets[1].scm
+
+
+def test_provider_resolved_from_config():
+    cluster = Cluster(ClusterConfig(provider=PSM2_PROVIDER))
+    assert cluster.provider.name == "psm2"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_server_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(n_client_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(engines_per_server=3)
+    with pytest.raises(ValueError):
+        ClusterConfig(client_sockets=0)
+
+
+def test_config_totals():
+    config = ClusterConfig(n_server_nodes=3, engines_per_server=2)
+    assert config.total_engines == 6
+    assert config.total_targets == 6 * config.daos.targets_per_engine
+
+
+def test_with_provider_copies():
+    config = ClusterConfig()
+    other = config.with_provider(PSM2_PROVIDER)
+    assert other.provider.name == "psm2"
+    assert config.provider.name == "tcp"
+    assert other.n_server_nodes == config.n_server_nodes

@@ -1,0 +1,109 @@
+"""End-to-end NWP workflow over the full stack: model -> FDB -> DAOS -> products."""
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.daos.client import DaosClient
+from repro.fdb.fieldio import FieldIO
+from repro.fdb.request import Request
+from repro.simulation.resources import Store
+from repro.units import KiB
+from repro.workloads import ForecastSpec, field_payload
+from tests.conftest import run_process
+
+FIELD_SIZE = 128 * KiB
+
+
+@pytest.fixture
+def deployment2x2():
+    return build_deployment(ClusterConfig(n_server_nodes=2, n_client_nodes=2))
+
+
+def test_parallel_model_run_and_product_generation(deployment2x2):
+    """I/O servers write a forecast while readers consume each field."""
+    cluster, system, pool = deployment2x2
+    forecast = ForecastSpec(
+        params=("t", "u"), levels=("500", "850"), steps=("0", "6")
+    )
+    n_writers = 4
+    shards = forecast.partition(n_writers)
+    addresses = cluster.client_addresses(4)
+
+    bootstrap = DaosClient(system, addresses[0])
+    run_process(cluster, FieldIO.bootstrap(bootstrap, pool))
+
+    archived = Store(cluster.sim)
+    read_back = []
+
+    def writer(fieldio, keys):
+        for key in keys:
+            yield from fieldio.write(key, field_payload(key, FIELD_SIZE))
+            archived.put(key)
+
+    def reader(fieldio, count):
+        for _ in range(count):
+            key = yield archived.get()
+            payload = yield from fieldio.read(key)
+            assert payload == field_payload(key, FIELD_SIZE)
+            read_back.append(key)
+
+    processes = []
+    for rank in range(n_writers):
+        fieldio = FieldIO(DaosClient(system, addresses[rank]), pool)
+        processes.append(cluster.sim.process(writer(fieldio, shards[rank])))
+    reader_io = FieldIO(DaosClient(system, addresses[0]), pool)
+    processes.append(cluster.sim.process(reader(reader_io, forecast.n_fields)))
+    cluster.sim.run(until=cluster.sim.all_of(processes))
+
+    assert len(read_back) == forecast.n_fields == 8
+    assert pool.used == forecast.n_fields * FIELD_SIZE
+    # Full mode: main + one index/store pair for the single shared forecast.
+    assert pool.n_containers == 3
+
+
+def test_bulk_retrieval_via_request(deployment2x2):
+    cluster, system, pool = deployment2x2
+    address = cluster.client_addresses(1)[0]
+    client = DaosClient(system, address)
+    run_process(cluster, FieldIO.bootstrap(client, pool))
+    fieldio = FieldIO(client, pool)
+
+    forecast = ForecastSpec(params=("t", "u"), levels=("500",), steps=("0", "6"))
+    for key in forecast.field_keys():
+        run_process(cluster, fieldio.write(key, field_payload(key, FIELD_SIZE)))
+
+    request = Request(
+        {
+            "class": "od", "stream": "oper", "expver": "0001",
+            "date": forecast.date, "time": forecast.time, "type": "fc",
+            "levtype": "pl", "levelist": "500",
+            "param": ("t", "u"), "step": ("0", "6"),
+        }
+    )
+    results = run_process(cluster, fieldio.read_request(request))
+    assert len(results) == 4
+    for key, payload in results.items():
+        assert payload == field_payload(key, FIELD_SIZE)
+
+
+def test_mixed_generations_coexist(deployment2x2):
+    """Two forecast cycles (00z and 12z) live side by side."""
+    cluster, system, pool = deployment2x2
+    client = DaosClient(system, cluster.client_addresses(1)[0])
+    run_process(cluster, FieldIO.bootstrap(client, pool))
+    fieldio = FieldIO(client, pool)
+
+    cycles = [
+        ForecastSpec(time="00", params=("t",), levels=("500",), steps=("0",)),
+        ForecastSpec(time="12", params=("t",), levels=("500",), steps=("0",)),
+    ]
+    for cycle in cycles:
+        for key in cycle.field_keys():
+            run_process(cluster, fieldio.write(key, field_payload(key, FIELD_SIZE)))
+
+    # main + 2 x (index + store).
+    assert pool.n_containers == 5
+    for cycle in cycles:
+        listed = run_process(cluster, fieldio.list_fields(cycle.msk()))
+        assert len(listed) == 1

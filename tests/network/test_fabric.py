@@ -1,0 +1,106 @@
+"""Fabric topology: link inventory, path construction, rail routing."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.hardware.topology import Cluster
+from repro.network.fabric import NodeSocket
+
+
+def make_fabric(**kwargs):
+    cluster = Cluster(ClusterConfig(**kwargs))
+    return cluster, cluster.fabric
+
+
+def test_engine_addresses_cover_deployment():
+    _, fabric = make_fabric(n_server_nodes=2, n_client_nodes=1)
+    assert fabric.engine_addresses == [
+        NodeSocket(0, 0), NodeSocket(0, 1), NodeSocket(1, 0), NodeSocket(1, 1)
+    ]
+
+
+def test_single_engine_deployment():
+    _, fabric = make_fabric(n_server_nodes=2, n_client_nodes=1, engines_per_server=1)
+    assert fabric.engine_addresses == [NodeSocket(0, 0), NodeSocket(1, 0)]
+
+
+def test_client_ports_respect_socket_config():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=2, client_sockets=1)
+    assert fabric.client_ports == [NodeSocket(0, 0), NodeSocket(1, 0)]
+
+
+def test_same_rail_write_path_has_no_inter_rail():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    path = fabric.write_path(NodeSocket(0, 0), NodeSocket(0, 0))
+    names = [link.name for link in path]
+    assert "inter_rail.c2s" not in names
+    assert "rail0.c2s" in names
+
+
+def test_cross_rail_write_path_crosses_uplink_and_both_rails():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    path = fabric.write_path(NodeSocket(0, 0), NodeSocket(0, 1))
+    names = [link.name for link in path]
+    assert "inter_rail.c2s" in names
+    assert "rail0.c2s" in names and "rail1.c2s" in names
+
+
+def test_write_path_structure_and_amplification():
+    cluster, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    amp = cluster.config.hardware.scm_write_amplification
+    path = fabric.write_path(NodeSocket(0, 0), NodeSocket(0, 0))
+    names = [link.name for link in path]
+    assert names[0] == "client0.s0.stack_tx"
+    assert names[1] == "client0.s0.tx"
+    assert names[-1] == "server0.s0.scm"
+    assert names.count("server0.s0.scm") == amp
+    assert "server0.s0.engine_rx" in names
+
+
+def test_read_path_structure():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    path = fabric.read_path(NodeSocket(0, 1), NodeSocket(0, 0))
+    names = [link.name for link in path]
+    assert names[0] == "server0.s0.scm"
+    assert names.count("server0.s0.scm") == 1  # reads are not amplified
+    assert "server0.s0.engine_tx" in names
+    assert "inter_rail.s2c" in names
+    assert names[-1] == "client0.s1.stack_rx"
+
+
+def test_read_and_write_use_different_rail_directions():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    write_names = {l.name for l in fabric.write_path(NodeSocket(0, 0), NodeSocket(0, 0))}
+    read_names = {l.name for l in fabric.read_path(NodeSocket(0, 0), NodeSocket(0, 0))}
+    assert "rail0.c2s" in write_names and "rail0.s2c" not in write_names
+    assert "rail0.s2c" in read_names and "rail0.c2s" not in read_names
+
+
+def test_p2p_path_avoids_daos_stacks():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=2)
+    path = fabric.p2p_path(NodeSocket(0, 0), NodeSocket(1, 0))
+    names = [link.name for link in path]
+    assert not any("stack" in n for n in names)
+    assert not any("engine" in n for n in names)
+    assert names == ["client0.s0.tx", "rail0.c2s", "client1.s0.rx"]
+
+
+def test_unknown_client_port_raises():
+    _, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1, client_sockets=1)
+    with pytest.raises(KeyError):
+        fabric.write_path(NodeSocket(0, 1), NodeSocket(0, 0))
+
+
+def test_rpc_latency_comes_from_provider():
+    cluster, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    assert fabric.rpc_latency() == cluster.provider.rpc_latency()
+
+
+def test_engine_link_capacities_match_provider_spec():
+    cluster, fabric = make_fabric(n_server_nodes=1, n_client_nodes=1)
+    spec = cluster.config.provider
+    engine = NodeSocket(0, 0)
+    path = fabric.read_path(NodeSocket(0, 0), engine)
+    by_name = {l.name: l for l in path}
+    assert by_name["server0.s0.engine_tx"].capacity == spec.engine_tx_cap
+    assert by_name["client0.s0.stack_rx"].capacity == spec.client_rx_cap

@@ -1,0 +1,106 @@
+"""Numerical robustness of the fluid-flow model under hostile inputs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.flow import FlowNetwork
+from repro.simulation import Simulator
+
+
+def make_net():
+    sim = Simulator()
+    return sim, FlowNetwork(sim)
+
+
+def test_extreme_capacity_ratios():
+    """12 orders of magnitude between link capacities must not break."""
+    sim, net = make_net()
+    huge = net.add_link("huge", 1e12)
+    tiny = net.add_link("tiny", 1.0)
+    done = [
+        net.transfer([huge], 1e9),
+        net.transfer([huge, tiny], 10.0),
+    ]
+    sim.run(until=sim.all_of(done))
+    assert net.completed_flows == 2
+    assert net.active_flows == 0
+
+
+def test_many_tiny_transfers_complete_exactly():
+    sim, net = make_net()
+    link = net.add_link("l", 1000.0)
+    done = [net.transfer([link], 0.001) for _ in range(200)]
+    sim.run(until=sim.all_of(done))
+    assert net.completed_flows == 200
+    assert net.completed_bytes == pytest.approx(0.2)
+
+
+def test_staggered_arrivals_conserve_work():
+    """Arrivals mid-flight must not lose or duplicate bytes."""
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_link("l", 100.0)
+    sizes = [50.0 * (i + 1) for i in range(20)]
+
+    def submit(sim, net, link, size, delay):
+        yield sim.timeout(delay)
+        yield net.transfer([link], size)
+
+    processes = [
+        sim.process(submit(sim, net, link, size, 0.01 * i))
+        for i, size in enumerate(sizes)
+    ]
+    sim.run(until=sim.all_of(processes))
+    assert net.completed_bytes == pytest.approx(sum(sizes))
+    # Work conservation: the link can never beat its capacity.
+    assert sim.now >= sum(sizes) / 100.0 - 1e-9
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0),  # arrival time
+            st.floats(min_value=0.1, max_value=1e4),  # size
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_arrivals_all_complete(arrivals):
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    links = [net.add_link(f"l{i}", 50.0 * (i + 1)) for i in range(3)]
+
+    def submit(sim, net, path, size, delay):
+        yield sim.timeout(delay)
+        yield net.transfer(path, size)
+
+    processes = []
+    for i, (delay, size) in enumerate(arrivals):
+        path = [links[i % 3], links[(i + 1) % 3]]
+        processes.append(sim.process(submit(sim, net, path, size, delay)))
+    sim.run(until=sim.all_of(processes))
+    assert net.completed_flows == len(arrivals)
+    assert net.completed_bytes == pytest.approx(sum(s for _, s in arrivals))
+    assert net.active_flows == 0
+    for link in links:
+        assert not link.flows
+
+
+def test_simultaneous_finish_tie_handling():
+    """Flows engineered to finish at the same instant all complete."""
+    sim, net = make_net()
+    link_a = net.add_link("a", 100.0)
+    link_b = net.add_link("b", 100.0)
+    done = [
+        net.transfer([link_a], 500.0),
+        net.transfer([link_b], 500.0),
+        net.transfer([link_a], 500.0),
+        net.transfer([link_b], 500.0),
+    ]
+    sim.run(until=sim.all_of(done))
+    assert net.completed_flows == 4
+    assert sim.now == pytest.approx(10.0)

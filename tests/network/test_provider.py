@@ -1,0 +1,78 @@
+"""Provider models: Table 2 anchors, curves, latencies."""
+
+import pytest
+
+from repro.config import PSM2_PROVIDER, TCP_PROVIDER
+from repro.network.provider import (
+    PSM2Provider,
+    Provider,
+    TCPProvider,
+    provider_from_name,
+)
+from repro.units import GiB
+
+
+def test_factory_by_name():
+    assert provider_from_name("tcp").name == "tcp"
+    assert provider_from_name("PSM2").name == "psm2"
+    with pytest.raises(ValueError, match="unknown fabric provider"):
+        provider_from_name("verbs")
+
+
+def test_wrong_spec_rejected():
+    with pytest.raises(ValueError):
+        TCPProvider(PSM2_PROVIDER)
+    with pytest.raises(ValueError):
+        PSM2Provider(TCP_PROVIDER)
+
+
+def test_tcp_single_stream_cap_matches_table2():
+    assert TCP_PROVIDER.per_flow_cap == pytest.approx(3.1 * GiB)
+
+
+def test_psm2_single_stream_cap_matches_table2():
+    assert PSM2_PROVIDER.per_flow_cap == pytest.approx(12.1 * GiB)
+
+
+def test_tcp_curve_is_increasing_then_saturates():
+    f = TCP_PROVIDER.adapter_capacity
+    assert f(1) == pytest.approx(3.1 * GiB)
+    assert f(1) < f(2) < f(4) < f(8)
+    assert f(8) <= TCP_PROVIDER.curve_saturation
+
+
+def test_tcp_curve_droops_past_onset():
+    f = TCP_PROVIDER.adapter_capacity
+    assert f(16) < f(8)
+    assert f(64) >= TCP_PROVIDER.droop_floor
+
+
+def test_tcp_curve_anchors_close_to_table2():
+    f = TCP_PROVIDER.adapter_capacity
+    for n, expected_gib in ((2, 4.1), (4, 6.9), (8, 9.5), (16, 9.0)):
+        assert f(n) / GiB == pytest.approx(expected_gib, rel=0.15)
+
+
+def test_psm2_curve_is_flat_line_rate():
+    f = PSM2_PROVIDER.adapter_capacity
+    assert f(1) == f(8) == f(64) == pytest.approx(12.1 * GiB)
+
+
+def test_zero_flows_returns_saturation():
+    assert TCP_PROVIDER.adapter_capacity(0) == TCP_PROVIDER.curve_saturation
+
+
+def test_latency_gap_tcp_vs_psm2():
+    # RDMA latency is an order of magnitude below kernel sockets.
+    assert PSM2_PROVIDER.message_latency < TCP_PROVIDER.message_latency / 4
+
+
+def test_rpc_latency_is_round_trip():
+    provider = provider_from_name("tcp")
+    assert provider.rpc_latency() == pytest.approx(2 * provider.message_latency)
+
+
+def test_provider_exposes_caps():
+    provider = Provider(TCP_PROVIDER)
+    assert provider.engine_tx_cap == TCP_PROVIDER.engine_tx_cap
+    assert provider.engine_rx_cap == TCP_PROVIDER.engine_rx_cap

@@ -1,0 +1,48 @@
+"""Tracer filtering and record access."""
+
+from repro.simulation import Tracer, TraceRecord
+
+
+def _tracer_with_records():
+    tracer = Tracer()
+    tracer.record(0.0, "open", {"rank": 0})
+    tracer.record(1.0, "open", {"rank": 1})
+    tracer.record(2.0, "close", {"rank": 0})
+    return tracer
+
+
+def test_len_and_iter():
+    tracer = _tracer_with_records()
+    assert len(tracer) == 3
+    assert [r.kind for r in tracer] == ["open", "open", "close"]
+
+
+def test_filter_by_kind():
+    tracer = _tracer_with_records()
+    assert len(tracer.filter("open")) == 2
+    assert len(tracer.filter("close")) == 1
+    assert tracer.filter("missing") == []
+
+
+def test_filter_by_fields():
+    tracer = _tracer_with_records()
+    rank0 = tracer.filter(rank=0)
+    assert [r.kind for r in rank0] == ["open", "close"]
+    assert tracer.filter("open", rank=1)[0].time == 1.0
+
+
+def test_kinds_first_seen_order():
+    assert _tracer_with_records().kinds() == ["open", "close"]
+
+
+def test_record_getitem():
+    record = TraceRecord(0.0, "k", {"a": 1})
+    assert record["a"] == 1
+
+
+def test_records_are_defensive_copies():
+    tracer = Tracer()
+    fields = {"mutable": 1}
+    tracer.record(0.0, "k", fields)
+    fields["mutable"] = 2
+    assert tracer.records[0]["mutable"] == 1

@@ -1,0 +1,32 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig7" in out
+
+
+def test_run_table2(capsys):
+    assert main(["run", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "MPI test" in out
+    assert "PSM2" in out
+
+
+def test_run_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_seed_flag(capsys):
+    assert main(["run", "table2", "--seed", "3"]) == 0

@@ -1,0 +1,53 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    bytes_per_sec_to_gib,
+    format_bandwidth,
+    format_size,
+    gib_per_sec_to_bytes,
+    parse_size,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert TiB == 1024 * GiB
+
+
+def test_rate_conversions_roundtrip():
+    assert bytes_per_sec_to_gib(gib_per_sec_to_bytes(3.5)) == pytest.approx(3.5)
+
+
+def test_format_size():
+    assert format_size(5 * MiB) == "5 MiB"
+    assert format_size(1536) == "1.5 KiB"
+    assert format_size(10) == "10 B"
+    assert format_size(2 * TiB) == "2 TiB"
+
+
+def test_format_bandwidth():
+    assert format_bandwidth(2.5 * GiB) == "2.50 GiB/s"
+
+
+def test_parse_size():
+    assert parse_size("5MiB") == 5 * MiB
+    assert parse_size("1 GiB") == GiB
+    assert parse_size("100") == 100
+    assert parse_size("0.5 KiB") == 512
+
+
+def test_parse_size_errors():
+    with pytest.raises(ValueError):
+        parse_size("-1 MiB")
+    with pytest.raises(ValueError):
+        parse_size("abc")
+    with pytest.raises(ValueError):
+        parse_size("0.3 B")

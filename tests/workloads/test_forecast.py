@@ -1,0 +1,46 @@
+"""Forecast descriptors."""
+
+import pytest
+
+from repro.fdb.schema import DEFAULT_SCHEMA
+from repro.workloads.forecast import ForecastSpec
+
+
+def test_field_inventory_size():
+    spec = ForecastSpec(params=("t", "u"), levels=("500", "850"), steps=("0", "6"))
+    keys = list(spec.field_keys())
+    assert len(keys) == spec.n_fields == 8
+    assert len({k.canonical() for k in keys}) == 8
+
+
+def test_keys_validate_against_default_schema():
+    spec = ForecastSpec(params=("t",), levels=("500",), steps=("0",))
+    for key in spec.field_keys():
+        DEFAULT_SCHEMA.validate(key)
+
+
+def test_step_major_order():
+    spec = ForecastSpec(params=("t", "u"), levels=("500",), steps=("0", "6"))
+    steps = [k["step"] for k in spec.field_keys()]
+    assert steps == ["0", "0", "6", "6"]
+
+
+def test_msk_matches_schema_split():
+    spec = ForecastSpec()
+    msk = spec.msk()
+    assert set(msk) == set(DEFAULT_SCHEMA.most_significant)
+    assert msk["date"] == spec.date
+
+
+def test_partition_round_robin():
+    spec = ForecastSpec(params=("t", "u", "v"), levels=("500",), steps=("0",))
+    shards = spec.partition(2)
+    assert [len(s) for s in shards] == [2, 1]
+    with pytest.raises(ValueError):
+        spec.partition(0)
+
+
+def test_default_spec_is_operational_sized():
+    spec = ForecastSpec()
+    # 10 params x 13 levels x 5 steps = 650 fields.
+    assert spec.n_fields == 650

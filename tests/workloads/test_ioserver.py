@@ -1,0 +1,102 @@
+"""The §1.2 model -> I/O server -> reader pipeline."""
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig
+from repro.units import GiB, KiB
+from repro.workloads import ForecastSpec, PipelineParams, run_pipeline
+
+
+def small_forecast():
+    return ForecastSpec(params=("t", "u"), levels=("500", "850"), steps=("0", "6"))
+
+
+def run_small(params=None, servers=1, clients=2):
+    cluster, system, pool = build_deployment(
+        ClusterConfig(n_server_nodes=servers, n_client_nodes=clients)
+    )
+    params = params or PipelineParams(
+        n_model_ranks=4, n_io_servers=2, n_readers=2, field_size=256 * KiB
+    )
+    result = run_pipeline(cluster, system, pool, small_forecast(), params)
+    return result, pool
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PipelineParams(n_model_ranks=0)
+    with pytest.raises(ValueError):
+        PipelineParams(field_size=0)
+    with pytest.raises(ValueError):
+        PipelineParams(encode_time=-1.0)
+
+
+def test_every_field_archived_and_read():
+    result, pool = run_small()
+    n_fields = small_forecast().n_fields
+    assert len(result.write_log) == n_fields
+    assert len(result.read_log) == n_fields
+    assert pool.used == n_fields * result.params.field_size
+
+
+def test_every_step_completes_in_order():
+    result, _ = run_small()
+    assert set(result.step_completion) == {"0", "6"}
+    assert all(t <= result.cycle_time for t in result.step_completion.values())
+
+
+def test_reads_overlap_writes():
+    """Product generation starts before the model finishes (pipelining)."""
+    result, _ = run_small()
+    first_read = min(r.io_start for r in result.read_log)
+    last_write = max(r.io_end for r in result.write_log)
+    assert first_read < last_write
+
+
+def test_bandwidths_positive_and_bounded():
+    result, _ = run_small()
+    assert 0 < result.archive_bandwidth < 100 * GiB
+    assert 0 < result.read_bandwidth < 100 * GiB
+    assert result.aggregated_bandwidth == pytest.approx(
+        result.archive_bandwidth + result.read_bandwidth
+    )
+
+
+def test_produce_interval_slows_cycle():
+    fast, _ = run_small(
+        PipelineParams(
+            n_model_ranks=4, n_io_servers=2, n_readers=2,
+            field_size=256 * KiB, produce_interval=0.0,
+        )
+    )
+    slow, _ = run_small(
+        PipelineParams(
+            n_model_ranks=4, n_io_servers=2, n_readers=2,
+            field_size=256 * KiB, produce_interval=0.01,
+        )
+    )
+    assert slow.cycle_time > fast.cycle_time
+
+
+def test_encode_time_charged():
+    free, _ = run_small(
+        PipelineParams(
+            n_model_ranks=4, n_io_servers=2, n_readers=2,
+            field_size=256 * KiB, encode_time=0.0,
+        )
+    )
+    costly, _ = run_small(
+        PipelineParams(
+            n_model_ranks=4, n_io_servers=2, n_readers=2,
+            field_size=256 * KiB, encode_time=0.005,
+        )
+    )
+    assert costly.cycle_time > free.cycle_time
+
+
+def test_deterministic():
+    a, _ = run_small()
+    b, _ = run_small()
+    assert a.cycle_time == b.cycle_time
+    assert a.step_completion == b.step_completion
