@@ -1,0 +1,37 @@
+"""pytest-benchmark harness over the kernel perf scenarios.
+
+Unlike the figure/table benchmarks in this directory, these time the
+*simulator itself* — the event loop, the incremental max-min kernel, the
+DAOS client hot paths — on the scenarios of
+:mod:`repro.bench.kernel_perf`.  Run with::
+
+    pytest benchmarks/test_kernel_perf.py --benchmark-only
+
+Quick scenario sizes are used so the suite stays in seconds; the committed
+full-size numbers live in ``BENCH_kernel.json`` (see ``repro bench``).
+The scenario digest is attached to ``extra_info`` and checked for
+stability across rounds, so a timing run doubles as a determinism check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.kernel_perf import SCENARIOS, run_scenario
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_kernel_scenario(benchmark, name):
+    digests = []
+
+    def run():
+        result = run_scenario(name, quick=True)
+        digests.append(result.digest)
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(set(digests)) == 1, f"{name} digest drifted across rounds"
+    benchmark.extra_info["digest"] = result.digest
+    benchmark.extra_info["sim_time_s"] = result.sim_time
+    for key, value in result.extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,276 @@
+"""Kernel performance scenarios (the ``repro bench`` harness).
+
+The simulator's own speed — not the simulated system's bandwidth — is what
+bounds how far the reproduction can be swept (paper-scale runs put thousands
+of concurrent flows through :class:`~repro.network.flow.FlowNetwork` and
+2000 ops per process through the DAOS client).  Each scenario here is a
+deterministic micro-workload aimed at one kernel hot path:
+
+* ``many_flow_contention`` — hundreds of simultaneously active flows over a
+  shared fabric-like topology: stresses max-min rate recomputation.
+* ``barrier_burst`` — repeated waves of same-instant arrivals and
+  near-simultaneous completions: stresses recompute coalescing and
+  completion scheduling.
+* ``kv_storm`` — a storm of small KV puts/gets against a shared index
+  object through the full DAOS client stack: stresses event dispatch,
+  resources, locks and dkey hashing.
+* ``fieldio_small`` — a miniature Field I/O pattern-A run end to end.
+
+Every scenario returns a :class:`ScenarioResult` carrying a bit-exact
+SHA-256 digest of its simulated outcome.  Wall time may vary run to run;
+the digest must not — ``repro bench`` and the tier-1 smoke test fail loudly
+if it drifts, which guards every kernel optimisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.config import ClusterConfig
+from repro.network.flow import FlowNetwork
+from repro.simulation import Simulator
+from repro.units import GiB, MiB
+
+__all__ = ["ScenarioResult", "SCENARIOS", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one kernel perf scenario."""
+
+    name: str
+    wall_s: float
+    sim_time: float
+    digest: str
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        payload = {
+            "wall_s": round(self.wall_s, 6),
+            "sim_time": self.sim_time,
+            "digest": self.digest,
+        }
+        payload.update({k: v for k, v in sorted(self.extra.items())})
+        return payload
+
+
+def _hexdigest(parts: List[str]) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+# -- scenario: many-flow contention ------------------------------------------------
+
+
+def _many_flow_contention(quick: bool) -> ScenarioResult:
+    """>= 500 concurrent flows across shared rails/engines (paper-scale mix)."""
+    n_flows = 160 if quick else 600
+    sim = Simulator(seed=7)
+    net = FlowNetwork(sim)
+    clients = [net.add_link(f"client{i}.tx", 9.5 * GiB) for i in range(32)]
+    rails = [net.add_link(f"rail{i}", 37.5 * GiB) for i in range(2)]
+    engines = [net.add_link(f"engine{i}.rx", 2.6 * GiB) for i in range(8)]
+    media = [net.add_link(f"scm{i}", 5.5 * GiB) for i in range(8)]
+    rng = sim.rng.stream("kernel-many-flow")
+    delays = rng.uniform(0.0, 0.05, size=n_flows)
+    sizes = rng.uniform(24 * MiB, 64 * MiB, size=n_flows)
+
+    flows: List[object] = []
+    peak = [0]
+
+    def submit(i: int):
+        yield sim.timeout(float(delays[i]))
+        path = [
+            clients[i % 32],
+            rails[i % 2],
+            engines[i % 8],
+            # SCM media traversed twice: write amplification, as in Fabric.
+            media[i % 8],
+            media[i % 8],
+        ]
+        done = net.transfer(path, float(sizes[i]), rate_cap=3.1 * GiB, name=f"f{i}")
+        if net.active_flows > peak[0]:
+            peak[0] = net.active_flows
+        flow = yield done
+        flows.append(flow)
+
+    processes = [sim.process(submit(i), name=f"submit{i}") for i in range(n_flows)]
+    start = time.perf_counter()
+    sim.run(until=sim.all_of(processes))
+    wall = time.perf_counter() - start
+
+    flows.sort(key=lambda f: f.fid)
+    digest = _hexdigest(
+        [f"{f.fid}|{f.size.hex()}|{f.start_time.hex()}|{f.end_time.hex()}" for f in flows]
+        + [float(net.completed_bytes).hex(), float(sim.now).hex()]
+    )
+    return ScenarioResult(
+        name="many_flow_contention",
+        wall_s=wall,
+        sim_time=sim.now,
+        digest=digest,
+        extra={"n_flows": n_flows, "peak_concurrent_flows": peak[0]},
+    )
+
+
+# -- scenario: barrier bursts -------------------------------------------------------
+
+
+def _barrier_burst(quick: bool) -> ScenarioResult:
+    """Waves of same-instant arrivals (processes leaving a barrier at once)."""
+    waves, per_wave = (4, 80) if quick else (6, 300)
+    sim = Simulator(seed=11)
+    net = FlowNetwork(sim)
+    shared = net.add_link("backbone", 20.0 * GiB)
+    locals_ = [net.add_link(f"leaf{i}", 3.0 * GiB) for i in range(16)]
+    end_times: List[float] = []
+
+    def driver():
+        for wave in range(waves):
+            done = [
+                net.transfer(
+                    [locals_[i % 16], shared],
+                    # Distinct sizes: completions land on distinct instants,
+                    # so every wave drains through ~per_wave recomputes.
+                    8 * MiB + i * (MiB // 64),
+                    rate_cap=2.0 * GiB,
+                    name=f"w{wave}.{i}",
+                )
+                for i in range(per_wave)
+            ]
+            result = yield sim.all_of(done)
+            for event in result.events:
+                end_times.append(event.value.end_time)
+
+    process = sim.process(driver(), name="barrier-driver")
+    start = time.perf_counter()
+    sim.run(until=process)
+    wall = time.perf_counter() - start
+
+    digest = _hexdigest(
+        [t.hex() for t in end_times]
+        + [float(net.completed_bytes).hex(), float(sim.now).hex()]
+    )
+    return ScenarioResult(
+        name="barrier_burst",
+        wall_s=wall,
+        sim_time=sim.now,
+        digest=digest,
+        extra={"waves": waves, "flows_per_wave": per_wave},
+    )
+
+
+# -- scenario: KV storm -------------------------------------------------------------
+
+
+def _kv_storm(quick: bool) -> ScenarioResult:
+    """Many processes hammering one shared index KV through the full client."""
+    from repro.bench.runner import build_deployment
+    from repro.daos.client import DaosClient
+    from repro.daos.objclass import OC_SX
+    from repro.daos.oid import ObjectId
+
+    processes_per_node, ops = (8, 60) if quick else (16, 250)
+    config = ClusterConfig(n_server_nodes=1, n_client_nodes=2, seed=13)
+    cluster, system, pool = build_deployment(config)
+    sim = cluster.sim
+    addresses = cluster.client_addresses(processes_per_node)
+
+    bootstrap_client = DaosClient(system, addresses[0])
+
+    def bootstrap():
+        container = yield from bootstrap_client.container_create(
+            pool, label="kv-storm", is_default=True
+        )
+        kv = yield from bootstrap_client.kv_open(container, ObjectId(1, 1), OC_SX)
+        return kv
+
+    boot = sim.process(bootstrap(), name="kv-storm-boot")
+    sim.run(until=boot)
+    kv = boot.value
+
+    def storm(rank: int, client: DaosClient):
+        for op in range(ops):
+            key = f"field/{rank}/{op}".encode()
+            yield from client.kv_put(kv, key, b"x" * 64)
+            value = yield from client.kv_get(kv, key)
+            assert value is not None
+
+    workers = [
+        sim.process(storm(rank, DaosClient(system, address)), name=f"storm{rank}")
+        for rank, address in enumerate(addresses)
+    ]
+    start = time.perf_counter()
+    sim.run(until=sim.all_of(workers))
+    wall = time.perf_counter() - start
+
+    digest = _hexdigest(
+        [float(sim.now).hex(), str(len(list(kv.keys()))), str(len(addresses) * ops)]
+    )
+    return ScenarioResult(
+        name="kv_storm",
+        wall_s=wall,
+        sim_time=sim.now,
+        digest=digest,
+        extra={"processes": len(addresses), "ops_per_process": ops},
+    )
+
+
+# -- scenario: small Field I/O run --------------------------------------------------
+
+
+def _fieldio_small(quick: bool) -> ScenarioResult:
+    """Miniature end-to-end Field I/O pattern-A run (client + FDB + fabric)."""
+    from repro.bench.fieldio_bench import (
+        Contention,
+        FieldIOBenchParams,
+        run_fieldio_pattern_a,
+    )
+    from repro.bench.runner import build_deployment
+
+    n_ops = 4 if quick else 12
+    config = ClusterConfig(n_server_nodes=1, n_client_nodes=2, seed=3)
+    cluster, system, pool = build_deployment(config)
+    params = FieldIOBenchParams(
+        contention=Contention.HIGH,
+        n_ops=n_ops,
+        field_size=1 * MiB,
+        processes_per_node=4,
+    )
+    start = time.perf_counter()
+    result = run_fieldio_pattern_a(cluster, system, pool, params)
+    wall = time.perf_counter() - start
+    digest = _hexdigest(
+        [result.log.digest(), float(cluster.net.completed_bytes).hex()]
+    )
+    return ScenarioResult(
+        name="fieldio_small",
+        wall_s=wall,
+        sim_time=cluster.sim.now,
+        digest=digest,
+        extra={"n_ops": n_ops, "records": len(result.log)},
+    )
+
+
+#: Registry of kernel perf scenarios, in reporting order.
+SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
+    "many_flow_contention": _many_flow_contention,
+    "barrier_burst": _barrier_burst,
+    "kv_storm": _kv_storm,
+    "fieldio_small": _fieldio_small,
+}
+
+
+def run_scenario(name: str, quick: bool = False) -> ScenarioResult:
+    """Run one scenario by name."""
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown kernel scenario {name!r}") from None
+    return runner(quick)

@@ -9,6 +9,7 @@ processes of a run and offers the groupings the §5.5 metrics need.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -137,3 +138,31 @@ class TimestampLog:
     def validate(self) -> None:
         for record in self.records:
             record.validate()
+
+    def digest(self) -> str:
+        """Bit-exact SHA-256 fingerprint of the whole log.
+
+        Every timestamp is rendered with ``float.hex()`` so two logs share a
+        digest if and only if they are bit-identical (record order included).
+        Used by the determinism regression tests to guard kernel changes.
+        """
+
+        def fmt(value: Optional[float]) -> str:
+            return "-" if value is None else float(value).hex()
+
+        hasher = hashlib.sha256()
+        hasher.update(f"{fmt(self.execution_start)}|{fmt(self.execution_end)}\n".encode())
+        for r in self.records:
+            hasher.update(
+                "|".join(
+                    (
+                        str(r.node), str(r.rank), str(r.iteration), r.op, str(r.size),
+                        fmt(r.io_start), fmt(r.io_end),
+                        fmt(r.open_start), fmt(r.open_end),
+                        fmt(r.transfer_start), fmt(r.transfer_end),
+                        fmt(r.close_start), fmt(r.close_end),
+                    )
+                ).encode()
+            )
+            hasher.update(b"\n")
+        return hasher.hexdigest()

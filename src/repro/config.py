@@ -173,6 +173,9 @@ class DaosServiceConfig:
     #: reads flatten near ~33k lookups/s (Fig 4 read droop).  On per-process
     #: index KVs the owner is sequential anyway, so this costs nothing extra.
     kv_get_service_time: float = 30 * USEC
+    #: Keys returned per ``daos_kv_list`` RPC round-trip (libdaos default
+    #: anchor/page granularity); ``kv_list`` charges one get-service per page.
+    kv_list_page_size: int = 128
     #: Array open/create/close/punch service times.
     array_create_service_time: float = 30 * USEC
     array_open_service_time: float = 20 * USEC

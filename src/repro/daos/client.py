@@ -33,6 +33,13 @@ __all__ = ["DaosClient"]
 
 ContainerRef = Union[uuid_module.UUID, str]
 
+#: dkey -> hash-prefix cache shared by all clients.  Benchmarks hammer a
+#: small keyset with puts then gets (often thousands of ops per key), and
+#: the sha256 is by far the dominant cost of placement; the raw 32-bit
+#: prefix is cached (not the target index) so it stays valid across objects
+#: with different layouts.
+_DKEY_HASH_CACHE: Dict[bytes, int] = {}
+
 
 class DaosClient:
     """A DAOS client bound to one simulated process.
@@ -90,9 +97,12 @@ class DaosClient:
 
     def _key_target(self, kv: KeyValueObject, key: bytes) -> int:
         """Target servicing a dkey: hashed over the object layout."""
-        digest = hashlib.sha256(key).digest()
-        index = int.from_bytes(digest[:4], "little") % len(kv.layout)
-        return kv.layout[index]
+        prefix = _DKEY_HASH_CACHE.get(key)
+        if prefix is None:
+            digest = hashlib.sha256(key).digest()
+            prefix = int.from_bytes(digest[:4], "little")
+            _DKEY_HASH_CACHE[key] = prefix
+        return kv.layout[prefix % len(kv.layout)]
 
     # -- pool / container operations -----------------------------------------------
     def pool_connect(self, pool: Pool):
@@ -234,7 +244,7 @@ class DaosClient:
     def kv_list(self, kv: KeyValueObject):
         """Enumerate all keys (paged enumeration, one service charge per page)."""
         self._count("kv_list")
-        page_size = 128
+        page_size = self.config.kv_list_page_size
         keys = list(kv.keys())
         yield self._latency()
         yield kv.lock.acquire_write()

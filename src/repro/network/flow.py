@@ -12,11 +12,31 @@ flow's completion time is rescheduled.  Between recomputations rates are
 constant, so progress is exact (no per-packet events), which keeps the event
 count proportional to the number of transfers rather than the number of
 bytes.
+
+Performance notes (the kernel fast path, see ``repro bench``):
+
+* Recomputation is *incremental*: an arrival or departure only perturbs the
+  connected component of links/flows it touches, so rates outside that
+  component are left untouched.  Within a component the arithmetic is the
+  exact water-filling recurrence, evaluated in the same order as a full
+  pass restricted to that component — results are bit-identical to the
+  reference algorithm (see ``tests/network/test_flow_reference.py``).
+* Links carry their working aggregates (``_cap_left``, ``_n_unfixed``,
+  per-round fair share) in slots instead of per-recompute dicts, and each
+  round computes one division per link rather than one per (flow, link).
+* Upcoming completions live in a lazily-invalidated heap keyed by absolute
+  finish time: stale entries (flow finished or rate changed) are dropped on
+  pop, so finding the next completion is O(log n) instead of a scan.
+
+Determinism is a hard constraint: identical seeds produce bit-identical
+timestamp logs, guarded by golden digests in
+``tests/bench/test_determinism.py``.
 """
 
 from __future__ import annotations
 
 import math
+from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,13 +50,15 @@ __all__ = ["Link", "Flow", "FlowNetwork"]
 #: byte counts (<= 2**50) and rates used here.
 _EPSILON_BYTES = 1e-3
 
+_INF = math.inf
+
 
 class Link:
     """A unidirectional capacity-limited network element.
 
-    ``capacity`` is in bytes/second.  A link knows the set of flows currently
-    crossing it; the :class:`FlowNetwork` updates this set and uses it during
-    rate computation.
+    ``capacity`` is in bytes/second.  A link knows the flows currently
+    crossing it (mapped to their path multiplicity); the :class:`FlowNetwork`
+    updates this mapping and uses it during rate computation.
 
     ``capacity_fn``, if given, makes the capacity depend on the number of
     concurrent flows: ``effective = min(capacity, capacity_fn(n_flows))``.
@@ -44,7 +66,18 @@ class Link:
     count (e.g. kernel TCP over a fast fabric, Table 2 of the paper).
     """
 
-    __slots__ = ("name", "capacity", "capacity_fn", "flows")
+    __slots__ = (
+        "name",
+        "capacity",
+        "capacity_fn",
+        "flows",
+        # Water-filling working state, valid within one recompute (_epoch
+        # stamps which recompute initialised it).
+        "_cap_left",
+        "_n_unfixed",
+        "_share",
+        "_epoch",
+    )
 
     def __init__(self, name: str, capacity: float, capacity_fn=None) -> None:
         if capacity <= 0:
@@ -52,9 +85,14 @@ class Link:
         self.name = name
         self.capacity = float(capacity)
         self.capacity_fn = capacity_fn
-        # Insertion-ordered (dict-as-ordered-set): deterministic iteration
-        # keeps rate computation and tie-breaking reproducible run to run.
-        self.flows: Dict["Flow", None] = {}
+        # Insertion-ordered mapping flow -> occurrences of this link in the
+        # flow's path (write amplification).  Deterministic iteration keeps
+        # rate computation and tie-breaking reproducible run to run.
+        self.flows: Dict["Flow", int] = {}
+        self._cap_left = 0.0
+        self._n_unfixed = 0
+        self._share = 0.0
+        self._epoch = -1
 
     def effective_capacity(self, n_flows: Optional[int] = None) -> float:
         """Capacity given ``n_flows`` concurrent streams (default: current)."""
@@ -73,7 +111,7 @@ class Link:
         """
         if not self.flows:
             return 0.0
-        consumed = sum(f.rate * f.path.count(self) for f in self.flows)
+        consumed = sum(f.rate * mult for f, mult in self.flows.items())
         return min(1.0, consumed / self.effective_capacity())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -98,6 +136,11 @@ class Flow:
         "start_time",
         "end_time",
         "done",
+        # Projected absolute completion time; None while unknown/finished.
+        # Heap entries whose recorded deadline no longer matches are stale.
+        "deadline",
+        # Per-round water-filling bound (scratch, valid within one round).
+        "_bound",
     )
 
     def __init__(
@@ -119,6 +162,8 @@ class Flow:
         self.start_time: float = math.nan
         self.end_time: Optional[float] = None
         self.done = done
+        self.deadline: Optional[float] = None
+        self._bound = 0.0
 
     @property
     def mean_rate(self) -> float:
@@ -152,11 +197,25 @@ class FlowNetwork:
         self._active: Dict[Flow, None] = {}
         self._fid = count()
         self._last_advance: float = sim.now
-        #: Generation counter so that stale completion wake-ups are ignored.
-        self._wake_generation = 0
+        #: Links whose flow set changed since the last recompute; their
+        #: connected component is what the next recompute rescopes to.
+        self._dirty: Dict[Link, None] = {}
+        #: Flows that arrived since the last recompute.  Usually redundant
+        #: with the dirty links, but a path-less (rate-cap-only) flow forms
+        #: its own component and is only reachable through this seed set.
+        self._dirty_flows: Dict[Flow, None] = {}
+        #: Min-heap of (deadline, fid, flow) candidate completions with lazy
+        #: invalidation (see Flow.deadline).
+        self._heap: List[Tuple[float, int, Flow]] = []
+        #: The currently armed wake-up event; wake-ups from superseded
+        #: recomputes no longer match and are ignored.
+        self._wake_event: Optional[Event] = None
+        #: Monotonic stamp marking which recompute initialised a link's
+        #: water-filling working state.
+        self._epoch = 0
         #: Whether a same-instant recompute is already queued.  Bursts of
         #: arrivals at one timestamp (every process leaving a barrier at
-        #: once) would otherwise trigger one full max-min recomputation per
+        #: once) would otherwise trigger one max-min recomputation per
         #: arrival — O(flows^2) work for nothing, since no time passes
         #: between them.  Coalescing them into a single deferred recompute
         #: keeps paper-scale runs (thousands of concurrent flows) tractable.
@@ -203,8 +262,12 @@ class FlowNetwork:
             raise ValueError("a flow needs a non-empty path or a finite rate cap")
         self._advance_to_now()
         self._active[flow] = None
+        self._dirty_flows[flow] = None
+        dirty = self._dirty
         for link in flow.path:
-            link.flows[flow] = None
+            flows = link.flows
+            flows[flow] = flows.get(flow, 0) + 1
+            dirty[link] = None
         self._schedule_recompute()
         return done
 
@@ -228,53 +291,129 @@ class FlowNetwork:
         self._recompute_and_reschedule()
 
     def _advance_to_now(self) -> None:
-        """Debit progress on all active flows since the last recompute."""
+        """Debit progress on all active flows since the last recompute.
+
+        While debiting, the completion heap is rebuilt from each flow's
+        refreshed projected finish time: rates were constant over the
+        elapsed interval, but the division ``remaining / rate`` must be
+        re-evaluated at the current instant so completion wake-ups land on
+        exactly the times the reference kernel would compute.
+        """
         now = self.sim.now
         elapsed = now - self._last_advance
         if elapsed > 0.0:
+            entries: List[Tuple[float, int, Flow]] = []
+            append = entries.append
             for flow in self._active:
-                flow.remaining -= flow.rate * elapsed
-        self._last_advance = now
+                rate = flow.rate
+                remaining = flow.remaining - rate * elapsed
+                flow.remaining = remaining
+                if rate > 0.0:
+                    deadline = now + remaining / rate
+                    flow.deadline = deadline
+                    append((deadline, flow.fid, flow))
+                else:  # pragma: no cover - defensive; rates > 0 always
+                    flow.deadline = None
+            heapify(entries)
+            self._heap = entries
+            self._last_advance = now
+
+    def _scope_flows(self) -> List[Flow]:
+        """Flows in the connected component(s) of the dirty links.
+
+        An arrival or departure can only change rates of flows sharing a
+        link with the perturbed flow, transitively.  The returned list
+        preserves ``_active`` insertion order so the scoped water-filling
+        pass fixes flows in exactly the order a full pass would.
+        """
+        dirty = self._dirty
+        dirty_flows = self._dirty_flows
+        if not dirty and not dirty_flows:
+            return []
+        self._dirty = {}
+        self._dirty_flows = {}
+        active = self._active
+        seen_links = set(dirty)
+        seen_flows = set(flow for flow in dirty_flows if flow in active)
+        queue: List[Link] = list(dirty)
+        for flow in seen_flows:
+            for link in flow.path:
+                if link not in seen_links:
+                    seen_links.add(link)
+                    queue.append(link)
+        pop = queue.pop
+        while queue:
+            link = pop()
+            for flow in link.flows:
+                if flow not in seen_flows:
+                    seen_flows.add(flow)
+                    for other in flow.path:
+                        if other not in seen_links:
+                            seen_links.add(other)
+                            queue.append(other)
+        if len(seen_flows) >= len(active):
+            return list(active)
+        return [flow for flow in active if flow in seen_flows]
 
     def _recompute_and_reschedule(self) -> None:
-        """Recompute max-min fair rates and schedule the next completion."""
-        self._compute_rates()
-        self._wake_generation += 1
-        generation = self._wake_generation
-        next_dt = self._next_completion_delay()
-        if next_dt is None:
+        """Recompute rates for the perturbed component, re-arm the wake-up."""
+        scope = self._scope_flows()
+        if scope:
+            self._compute_rates(scope)
+            # Refresh projected completions for flows whose rate changed.
+            now = self.sim.now
+            heap = self._heap
+            for flow in scope:
+                rate = flow.rate
+                if rate > 0.0:
+                    deadline = now + flow.remaining / rate
+                    if deadline != flow.deadline:
+                        flow.deadline = deadline
+                        heappush(heap, (deadline, flow.fid, flow))
+                else:  # pragma: no cover - defensive; rates > 0 always
+                    flow.deadline = None
+        self._arm_wake()
+
+    def _arm_wake(self) -> None:
+        """Schedule a wake-up for the earliest projected completion."""
+        heap = self._heap
+        active = self._active
+        while heap:
+            deadline, _, flow = heap[0]
+            if flow.deadline == deadline and flow in active:
+                break
+            heappop(heap)
+        else:
+            self._wake_event = None
             return
-        wake = self.sim.timeout(next_dt, name="flownet:wake")
-        wake.add_callback(lambda _evt: self._on_wake(generation))
+        delay = deadline - self.sim.now
+        if delay < 0.0:
+            delay = 0.0
+        wake = self.sim.timeout(delay, name="flownet:wake")
+        wake.add_callback(self._on_wake)
+        self._wake_event = wake
 
-    def _next_completion_delay(self) -> Optional[float]:
-        """Time until the earliest active flow finishes, or None if idle."""
-        best: Optional[float] = None
-        for flow in self._active:
-            if flow.rate <= 0.0:  # pragma: no cover - defensive; rates > 0 always
-                continue
-            dt = flow.remaining / flow.rate
-            if best is None or dt < best:
-                best = dt
-        if best is None:
-            return None
-        return max(best, 0.0)
-
-    def _on_wake(self, generation: int) -> None:
-        if generation != self._wake_generation:
+    def _on_wake(self, event: Event) -> None:
+        if event is not self._wake_event:
             return  # a newer recompute superseded this wake-up
+        self._wake_event = None
         self._advance_to_now()
+        now = self.sim.now
         finished = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
         if not finished:  # pragma: no cover - defensive
             self._recompute_and_reschedule()
             return
+        active = self._active
+        dirty = self._dirty
         for flow in finished:
-            self._active.pop(flow, None)
+            active.pop(flow, None)
             for link in flow.path:
                 link.flows.pop(flow, None)
+                dirty[link] = None
             flow.remaining = 0.0
             flow.rate = 0.0
-            flow.end_time = self.sim.now
+            flow.deadline = None
+            flow.end_time = now
             self.completed_flows += 1
             self.completed_bytes += flow.size
         # Defer the recompute: completions resume processes that often start
@@ -284,47 +423,57 @@ class FlowNetwork:
         for flow in finished:
             flow.done.succeed(flow)
 
-    def _compute_rates(self) -> None:
+    def _compute_rates(self, flows: List[Flow]) -> None:
         """Progressive-filling max-min fair allocation with per-flow caps.
 
         Repeatedly: compute each link's fair share among its unfixed flows;
         each unfixed flow's bound is the minimum of its links' fair shares
-        and its own cap; fix every flow whose bound equals the global
+        and its own cap; fix every flow whose bound equals the round's
         minimum bound; subtract fixed rates from link capacities.  This is
-        the textbook water-filling algorithm, O(iterations * flows * path).
+        the textbook water-filling algorithm, restricted to the perturbed
+        component (``flows``) and evaluated with per-link running
+        aggregates rather than per-recompute dicts.
         """
-        unfixed = dict(self._active)
-        if not unfixed:
+        if not flows:
             return
-        cap_left: Dict[Link, float] = {}
-        nflows: Dict[Link, int] = {}
-        for flow in unfixed:
+        self._epoch += 1
+        epoch = self._epoch
+        links: List[Link] = []
+        for flow in flows:
             for link in flow.path:
-                if link not in cap_left:
-                    cap_left[link] = link.effective_capacity(len(link.flows))
-                    nflows[link] = 0
-                nflows[link] += 1
+                if link._epoch != epoch:
+                    link._epoch = epoch
+                    link._cap_left = link.effective_capacity(len(link.flows))
+                    link._n_unfixed = 0
+                    links.append(link)
+                link._n_unfixed += 1
 
+        unfixed = flows
         while unfixed:
-            # Bound for each unfixed flow.
-            bounds: List[Tuple[float, Flow]] = []
-            minimum = math.inf
+            for link in links:
+                n = link._n_unfixed
+                if n > 0:
+                    link._share = link._cap_left / n
+            minimum = _INF
             for flow in unfixed:
                 bound = flow.rate_cap
                 for link in flow.path:
-                    share = cap_left[link] / nflows[link]
+                    share = link._share
                     if share < bound:
                         bound = share
-                bounds.append((bound, flow))
+                flow._bound = bound
                 if bound < minimum:
                     minimum = bound
-            if not math.isfinite(minimum):  # pragma: no cover - guarded in transfer()
+            if minimum == _INF:  # pragma: no cover - guarded in transfer()
                 raise AssertionError("unbounded flow rate: no cap and empty path")
             threshold = minimum * (1.0 + 1e-12)
-            newly_fixed = [flow for bound, flow in bounds if bound <= threshold]
-            for flow in newly_fixed:
-                flow.rate = minimum
-                unfixed.pop(flow, None)
-                for link in flow.path:
-                    cap_left[link] = max(cap_left[link] - minimum, 0.0)
-                    nflows[link] -= 1
+            still_unfixed: List[Flow] = []
+            for flow in unfixed:
+                if flow._bound <= threshold:
+                    flow.rate = minimum
+                    for link in flow.path:
+                        link._cap_left = max(link._cap_left - minimum, 0.0)
+                        link._n_unfixed -= 1
+                else:
+                    still_unfixed.append(flow)
+            unfixed = still_unfixed

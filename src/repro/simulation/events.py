@@ -156,9 +156,16 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be non-negative, got {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
+        # ``Event.__init__`` inlined: every simulated service time and every
+        # flow-network wake allocates a Timeout, making this the hottest
+        # constructor in the kernel.
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
+        self._value = PENDING
         self._ok = True
+        self._defused = False
+        self.delay = delay
         self._delayed_value = value
         sim._schedule(delay, self)
 
@@ -246,12 +253,12 @@ class Condition(Event):
         return [e for e in self._events if e.triggered]
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
-            if not event.ok:
+        if self._value is not PENDING:
+            if not event._ok:
                 event.defuse()
             return
         self._count += 1
-        if not event.ok:
+        if not event._ok:
             event.defuse()
             self.fail(event.value)
         elif self._evaluate(self._events, self._count):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.simulation.events import Event, Interrupt
+from repro.simulation.events import PENDING, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulation.core import Simulator
@@ -77,13 +77,15 @@ class Process(Event):
 
     # -- internal stepping ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # Slot access throughout: _resume fires once per yield of every
+        # process, i.e. once per simulated I/O step.
+        if self._value is not PENDING:
             # Process already ended (e.g. interrupted); swallow stale wakeups.
-            if not event.ok:
+            if not event._ok:
                 event.defuse()
             return
         self._waiting_on = None
-        if event.ok:
+        if event._ok:
             self._step(event._value, as_exception=False)
         else:
             event.defuse()
@@ -115,4 +117,9 @@ class Process(Event):
             self.fail(ValueError("yielded event belongs to a different simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            # Already processed: resume immediately (add_callback inlined).
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -62,7 +63,11 @@ class GaussianGrid:
         return self.points * 4
 
 
+@lru_cache(maxsize=None)
 def _seed_from_key(key: FieldKey) -> int:
+    # Cached: benchmarks call this once per op (write *and* verify-read) for
+    # a keyset that is tiny compared to the op count; FieldKey is frozen and
+    # hashable, so the seed is a pure function of the key.
     digest = hashlib.sha256(key.encode()).digest()
     return int.from_bytes(digest[:8], "little")
 

@@ -1,0 +1,77 @@
+"""Tier-1 smoke run of the kernel perf harness (``repro bench --quick``).
+
+CI does not time the kernel (wall time on shared runners is noise); what it
+*can* check cheaply is that every scenario runs, digests deterministically,
+and the CLI entry point (including ``--profile``) produces a well-formed
+``BENCH_kernel.json``.  The quick sizes keep this in seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.runner import KERNEL_BENCH_SCHEMA, run_kernel_benchmarks
+from repro.cli import main
+
+pytestmark = pytest.mark.smoke
+
+
+def test_quick_scenarios_run_and_digest_deterministically():
+    # repeats=2 makes the harness itself assert digest equality across
+    # runs (it raises RuntimeError on drift).
+    payload = run_kernel_benchmarks(quick=True, repeats=2)
+    assert payload["schema"] == KERNEL_BENCH_SCHEMA
+    assert payload["quick"] is True
+    names = set(payload["scenarios"])
+    assert names == {
+        "many_flow_contention",
+        "barrier_burst",
+        "kv_storm",
+        "fieldio_small",
+    }
+    for entry in payload["scenarios"].values():
+        assert entry["wall_s"] >= 0.0
+        assert entry["sim_time"] > 0.0
+        assert len(entry["digest"]) == 64
+
+
+def test_cli_bench_profile_quick(tmp_path, capsys):
+    out = tmp_path / "BENCH_kernel.json"
+    code = main(
+        [
+            "bench",
+            "--profile",
+            "--quick",
+            "--scenario",
+            "many_flow_contention",
+            "--json",
+            str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    # The cProfile table and the per-scenario summary both printed.
+    assert "cumulative" in captured
+    assert "many_flow_contention" in captured
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == KERNEL_BENCH_SCHEMA
+    assert list(payload["scenarios"]) == ["many_flow_contention"]
+
+
+def test_cli_bench_speedup_against_baseline(tmp_path, capsys):
+    """--baseline embeds per-scenario speedups into the payload."""
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    args = ["bench", "--quick", "--scenario", "fieldio_small"]
+    assert main(args + ["--json", str(first)]) == 0
+    assert main(args + ["--json", str(second), "--baseline", str(first)]) == 0
+    capsys.readouterr()
+    payload = json.loads(second.read_text())
+    assert payload["baseline"]["path"] == str(first)
+    assert "fieldio_small" in payload["speedup"]
+    # Same kernel both times: digests agree even though wall time differs.
+    reference = json.loads(first.read_text())
+    assert (
+        payload["scenarios"]["fieldio_small"]["digest"]
+        == reference["scenarios"]["fieldio_small"]["digest"]
+    )
