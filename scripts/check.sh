@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo check: lint (when ruff is available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args...]
+#
+# ruff is an optional dev dependency — environments without it (e.g. the
+# minimal CI image) skip the lint step with a notice instead of failing,
+# so the check always exercises at least the tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check src tests benchmarks =="
+    ruff check src tests benchmarks
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1: pytest =="
+PYTHONPATH=src python -m pytest -x -q "$@"

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
 from enum import Enum
-from typing import List
+from typing import Dict, List
 
 from repro.bench.metrics import BandwidthSummary, summarise
 from repro.bench.timestamps import IoRecord, TimestampLog
@@ -31,6 +31,7 @@ from repro.config import ClusterConfig
 from repro.daos.client import DaosClient
 from repro.daos.errors import SimulatedFaultError
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
+from repro.daos.rpc import OpStats, merge_op_stats
 from repro.daos.system import DaosSystem
 from repro.fdb.fieldio import FieldIO
 from repro.fdb.modes import FieldIOMode
@@ -75,6 +76,10 @@ class FieldIOBenchParams:
     #: stagger process starts; this is what makes short runs report lower
     #: global timing bandwidth (§6.3.1).
     startup_skew: float = 0.25
+    #: Pipelined Field I/O writes: overlap the array transfer with the index
+    #: kv_put via the client event queue (arXiv:2404.03107).  Off by default
+    #: — the blocking path is the paper's measured configuration.
+    async_io: bool = False
 
     def __post_init__(self) -> None:
         if self.n_ops < 1:
@@ -95,6 +100,9 @@ class FieldIOBenchResult:
     config: ClusterConfig
     pattern: str
     log: TimestampLog
+    #: Aggregated per-op RPC stats across every client process in the run
+    #: (the report layer renders these as the RPC breakdown table).
+    rpc_stats: Dict[str, OpStats] = dataclass_field(default_factory=dict)
     summary: BandwidthSummary = dataclass_field(init=False)
 
     def __post_init__(self) -> None:
@@ -131,6 +139,7 @@ def _make_fieldio(
         mode=params.mode,
         kv_oclass=params.kv_oclass,
         array_oclass=params.array_oclass,
+        async_io=params.async_io,
     )
 
 
@@ -196,11 +205,13 @@ def run_fieldio_pattern_a(
     log = TimestampLog()
     log.execution_start = cluster.sim.now
 
+    clients = []
     for op, phase in (("write", "a-write"), ("read", "a-read")):
         delays = _skew_delays(cluster, len(addresses), params.startup_skew, phase)
         processes = []
         for rank, address in enumerate(addresses):
             fieldio = _make_fieldio(system, pool, address, params)
+            clients.append(fieldio.client)
             keys = pattern_a_keys(rank, params.n_ops, shared)
             node = rank // params.processes_per_node
             processes.append(
@@ -216,7 +227,13 @@ def run_fieldio_pattern_a(
 
     log.execution_end = cluster.sim.now
     log.validate()
-    return FieldIOBenchResult(params=params, config=cluster.config, pattern="A", log=log)
+    return FieldIOBenchResult(
+        params=params,
+        config=cluster.config,
+        pattern="A",
+        log=log,
+        rpc_stats=merge_op_stats(c.op_metrics for c in clients),
+    )
 
 
 def run_fieldio_pattern_b(
@@ -284,4 +301,10 @@ def run_fieldio_pattern_b(
     cluster.sim.run(until=cluster.sim.all_of(processes))
     log.execution_end = cluster.sim.now
     log.validate()
-    return FieldIOBenchResult(params=params, config=cluster.config, pattern="B", log=log)
+    return FieldIOBenchResult(
+        params=params,
+        config=cluster.config,
+        pattern="B",
+        log=log,
+        rpc_stats=merge_op_stats(f.client.op_metrics for f in fieldios.values()),
+    )

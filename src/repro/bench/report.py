@@ -6,11 +6,12 @@ report; these helpers keep the formatting consistent and dependency-free.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
-from repro.units import GiB
+from repro.daos.rpc import DATA_OPS, OpStats
+from repro.units import GiB, MiB
 
-__all__ = ["format_table", "format_series", "gib"]
+__all__ = ["format_table", "format_series", "format_rpc_breakdown", "gib"]
 
 
 def gib(bytes_per_sec: float) -> str:
@@ -46,3 +47,37 @@ def format_series(
         raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
     points = ", ".join(f"{x}={y / GiB:.2f}" for x, y in zip(xs, ys))
     return f"{name} [{unit}]: {points}"
+
+
+def _breakdown_row(op: str, entry: OpStats) -> List[object]:
+    min_time = 0.0 if entry.count == 0 else entry.min_time
+    return [
+        op,
+        entry.count,
+        entry.errors,
+        entry.retries,
+        f"{entry.mean_time * 1e3:.3f}",
+        f"{min_time * 1e3:.3f}",
+        f"{entry.max_time * 1e3:.3f}",
+        f"{entry.total_bytes / MiB:.1f}",
+    ]
+
+
+def format_rpc_breakdown(stats: Dict[str, OpStats]) -> str:
+    """Render aggregated client ``op_metrics`` as an RPC breakdown table.
+
+    One row per op (alphabetical), plus ``[metadata]``/``[data]`` rollup rows
+    splitting the §6.3.1 op taxonomy: bulk field transfers vs everything
+    else.  Latencies are per-op means/extremes in milliseconds as seen by
+    the calling process (retries and backoff included).
+    """
+    headers = ["op", "count", "err", "retry", "mean ms", "min ms", "max ms", "MiB"]
+    rows: List[List[object]] = []
+    rollups = {"metadata": OpStats(), "data": OpStats()}
+    for op in sorted(stats):
+        entry = stats[op]
+        rows.append(_breakdown_row(op, entry))
+        rollups["data" if op in DATA_OPS else "metadata"].merge(entry)
+    for kind in ("metadata", "data"):
+        rows.append(_breakdown_row(f"[{kind}]", rollups[kind]))
+    return format_table(headers, rows)

@@ -89,6 +89,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run the full parameter grids of the paper (slow)",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect the structured simulation trace (RPC spans, model "
+            "events) across the run and write it as JSON lines"
+        ),
+    )
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -153,12 +163,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     scale = "paper" if args.paper_scale else "ci"
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
-    for name in names:
-        start = time.time()
-        result = run_experiment(name, scale=scale, seed=args.seed)
-        print(result.render())
-        print(f"[{name}: {time.time() - start:.1f}s wall]")
-        print()
+    tracer = None
+    if args.trace_out is not None:
+        # Experiments build their Clusters (and Simulators) internally, so
+        # tracing is enabled process-wide: every Simulator created while the
+        # global tracer is installed records into it.
+        from repro.simulation.trace import install_global_tracer, uninstall_global_tracer
+
+        tracer = install_global_tracer()
+    try:
+        for name in names:
+            start = time.time()
+            result = run_experiment(name, scale=scale, seed=args.seed)
+            print(result.render())
+            print(f"[{name}: {time.time() - start:.1f}s wall]")
+            print()
+    finally:
+        if tracer is not None:
+            uninstall_global_tracer()
+            count = tracer.dump_jsonl(str(args.trace_out))
+            print(f"wrote {count} trace records to {args.trace_out}")
     return 0
 
 

@@ -11,7 +11,7 @@ absolute numbers, per DESIGN.md §5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.units import GiB, MiB, USEC
 
@@ -20,9 +20,61 @@ __all__ = [
     "TCP_PROVIDER",
     "PSM2_PROVIDER",
     "HardwareConfig",
+    "FaultInjectionConfig",
+    "RetryPolicy",
     "DaosServiceConfig",
     "ClusterConfig",
 ]
+
+
+@dataclass(frozen=True)
+class FaultInjectionConfig:
+    """Deterministic, seeded RPC fault schedule (off by default).
+
+    When enabled, the client's fault-injection middleware drops RPCs
+    according to a schedule that is a pure function of ``seed``, the client
+    address, the op kind, and the per-client RPC sequence number — so a
+    faulty run replays identically, independent of every other random
+    stream.  Injected faults surface as
+    :class:`~repro.daos.errors.SimulatedFaultError` *before* the op touches
+    any state, which is what makes retry-with-backoff sound.
+    """
+
+    enabled: bool = False
+    #: Probability an RPC is dropped (evaluated on the deterministic schedule).
+    rate: float = 0.0
+    #: Schedule seed, independent of the simulation seed so fault placement
+    #: can be varied without perturbing the workload timeline.
+    seed: int = 0
+    #: Restrict injection to these op kinds (empty tuple = all ops).
+    ops: Tuple[str, ...] = ()
+    #: Cap on total faults injected per client (``None`` = unlimited).
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError("max_faults must be non-negative")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client retry-with-backoff for faulted RPCs (middleware-enforced)."""
+
+    #: Total attempts per RPC, including the first (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff before the first retry; doubles (``backoff_factor``) per retry.
+    backoff_base: float = 200 * USEC
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -206,6 +258,12 @@ class DaosServiceConfig:
     #: Reproduce the instability the paper hit: Field I/O *full* mode with
     #: more than 8 server nodes failed in pattern A low contention (§7).
     emulate_known_bugs: bool = False
+    #: RPC fault-injection schedule (client middleware; off by default, so
+    #: the blocking path stays bit-identical to the fault-free kernel).
+    fault_injection: FaultInjectionConfig = field(default_factory=FaultInjectionConfig)
+    #: Retry policy applied by the client's retry middleware whenever fault
+    #: injection is enabled (ignored otherwise).
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 @dataclass(frozen=True)

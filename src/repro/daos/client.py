@@ -6,6 +6,17 @@ driven with ``yield from`` inside a simulation process; they charge provider
 RPC latency, per-target service time, object serialisation, and bulk data
 flows, then apply the functional state change and return the result.
 
+Since the RPC-pipeline refactor, every operation is materialised as a
+:class:`~repro.daos.rpc.Request` (op kind, target, payload size, re-invocable
+body) and submitted through the client's middleware chain — metrics and
+tracing always, fault injection and retry when
+:class:`~repro.config.FaultInjectionConfig` enables them.  ``request_*``
+builders expose the Request objects directly so callers can submit them
+asynchronously through an :class:`~repro.daos.eq.EventQueue`
+(``client.eq_create()``), the ``daos_eq_*`` idiom the pipelined Field I/O
+path uses.  The default middleware chain adds no simulated events, keeping
+the blocking path bit-identical to the pre-pipeline client.
+
 Connection/handle caching follows the paper (§5.2: "Pool and container
 connections in a process are cached"): repeated ``container_open`` calls for
 the same container are free after the first.
@@ -15,10 +26,11 @@ from __future__ import annotations
 
 import hashlib
 import uuid as uuid_module
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.daos.array_object import ArrayObject
 from repro.daos.container import Container
+from repro.daos.eq import EventQueue
 from repro.daos.errors import InvalidArgumentError, KeyNotFoundError
 from repro.daos.kv import KeyValueObject
 from repro.daos.objclass import OC_S1, ObjectClass
@@ -26,10 +38,20 @@ from repro.daos.oid import ObjectId
 from repro.daos.payload import BytesPayload, Payload
 from repro.daos.placement import shard_layout
 from repro.daos.pool import Pool
+from repro.daos.rpc import (
+    FaultInjectionMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    OpStats,
+    Request,
+    RetryMiddleware,
+    TracingMiddleware,
+    compose_chain,
+)
 from repro.daos.system import DaosSystem
 from repro.network.fabric import NodeSocket
 
-__all__ = ["DaosClient"]
+__all__ = ["DaosClient", "default_middleware"]
 
 ContainerRef = Union[uuid_module.UUID, str]
 
@@ -39,6 +61,23 @@ ContainerRef = Union[uuid_module.UUID, str]
 #: prefix is cached (not the target index) so it stays valid across objects
 #: with different layouts.
 _DKEY_HASH_CACHE: Dict[bytes, int] = {}
+
+
+def default_middleware(config) -> List[Middleware]:
+    """The standard chain for a :class:`DaosServiceConfig`, outermost first.
+
+    Metrics wraps everything (an op counts once, its latency covers
+    retries); retry wraps tracing (each attempt gets its own span); fault
+    injection sits innermost, directly in front of the op body.
+    """
+    chain: List[Middleware] = [MetricsMiddleware()]
+    fault = config.fault_injection
+    if fault.enabled and config.retry.max_attempts > 1:
+        chain.append(RetryMiddleware(config.retry))
+    chain.append(TracingMiddleware())
+    if fault.enabled:
+        chain.append(FaultInjectionMiddleware(fault))
+    return chain
 
 
 class DaosClient:
@@ -51,9 +90,17 @@ class DaosClient:
     address:
         The client node/socket this process is pinned to; determines which
         fabric links its traffic traverses.
+    middleware:
+        Override the RPC middleware chain (outermost first).  Defaults to
+        :func:`default_middleware` over the system's service config.
     """
 
-    def __init__(self, system: DaosSystem, address: NodeSocket) -> None:
+    def __init__(
+        self,
+        system: DaosSystem,
+        address: NodeSocket,
+        middleware: Optional[List[Middleware]] = None,
+    ) -> None:
         self.system = system
         self.address = address
         self.sim = system.cluster.sim
@@ -62,8 +109,26 @@ class DaosClient:
         self.provider = system.cluster.provider
         self.config = system.config
         self._container_cache: Dict[Tuple[str, str], Container] = {}
-        #: Statistics, useful to assert on op mixes in tests.
+        #: Op counters, useful to assert on op mixes in tests.
         self.stats: Dict[str, int] = {}
+        #: Per-op latency/bytes accumulators (maintained by metrics middleware).
+        self.op_metrics: Dict[str, OpStats] = {}
+        #: Total faults injected into this client (fault middleware).
+        self.faults_injected = 0
+        if middleware is None:
+            middleware = default_middleware(self.config)
+        self.middleware = middleware
+        self._chain = compose_chain(middleware)
+
+    # -- RPC submission ----------------------------------------------------------
+    def _submit(self, request: Request):
+        """Drive ``request`` through the middleware chain (blocking caller)."""
+        result = yield from self._chain(self, request)
+        return result
+
+    def eq_create(self, name: str = "eq") -> EventQueue:
+        """A fresh event queue for asynchronous submissions (``daos_eq_create``)."""
+        return EventQueue(self.sim, name=name)
 
     # -- small helpers -----------------------------------------------------------
     def _count(self, op: str) -> None:
@@ -105,13 +170,35 @@ class DaosClient:
         return kv.layout[prefix % len(kv.layout)]
 
     # -- pool / container operations -----------------------------------------------
+    def request_pool_connect(self, pool: Pool) -> Request:
+        return Request(
+            op="pool_connect",
+            body=lambda: self._do_pool_connect(pool),
+            detail=pool.label,
+        )
+
     def pool_connect(self, pool: Pool):
         """Connect to a pool (handshake with the pool service)."""
-        self._count("pool_connect")
+        return (yield from self._submit(self.request_pool_connect(pool)))
+
+    def _do_pool_connect(self, pool: Pool):
         yield self._latency()
         yield from self._pool_service(self.config.container_open_service_time)
         yield self._latency()
         return pool
+
+    def request_container_create(
+        self,
+        pool: Pool,
+        uuid: Optional[uuid_module.UUID] = None,
+        label: str = "",
+        is_default: bool = False,
+    ) -> Request:
+        return Request(
+            op="container_create",
+            body=lambda: self._do_container_create(pool, uuid, label, is_default),
+            detail=label or str(uuid),
+        )
 
     def container_create(
         self,
@@ -126,7 +213,19 @@ class DaosClient:
         section, so md5-derived concurrent creates (§4) behave exactly like
         the real collective: one creator wins, the rest see EXIST.
         """
-        self._count("container_create")
+        return (
+            yield from self._submit(
+                self.request_container_create(pool, uuid, label, is_default)
+            )
+        )
+
+    def _do_container_create(
+        self,
+        pool: Pool,
+        uuid: Optional[uuid_module.UUID],
+        label: str,
+        is_default: bool,
+    ):
         yield self._latency()
         request = self.system.pool_service.request()
         yield request
@@ -148,13 +247,28 @@ class DaosClient:
         return str(ref_or_container)
 
     def container_open(self, pool: Pool, ref: ContainerRef):
-        """Open a container by UUID or label, cached per client (§5.2)."""
+        """Open a container by UUID or label, cached per client (§5.2).
+
+        The cache hit is a pure local lookup — no RPC is built and nothing
+        passes through the middleware chain, exactly like a cached handle in
+        libdaos.
+        """
         cache_key = (pool.label, self._cache_key(ref))
         cached = self._container_cache.get(cache_key)
         if cached is not None:
             self._count("container_open_cached")
             return cached
-        self._count("container_open")
+        return (
+            yield from self._submit(
+                Request(
+                    op="container_open",
+                    body=lambda: self._do_container_open(pool, ref, cache_key),
+                    detail=str(ref),
+                )
+            )
+        )
+
+    def _do_container_open(self, pool: Pool, ref: ContainerRef, cache_key):
         yield self._latency()
         yield from self._pool_service(self.config.container_open_service_time)
         container = pool.open_container(ref)
@@ -166,7 +280,17 @@ class DaosClient:
 
     def container_exists(self, pool: Pool, ref: ContainerRef):
         """Probe existence (a pool-service lookup)."""
-        self._count("container_exists")
+        return (
+            yield from self._submit(
+                Request(
+                    op="container_exists",
+                    body=lambda: self._do_container_exists(pool, ref),
+                    detail=str(ref),
+                )
+            )
+        )
+
+    def _do_container_exists(self, pool: Pool, ref: ContainerRef):
         yield self._latency()
         yield from self._pool_service(self.config.rpc_service_time)
         yield self._latency()
@@ -186,14 +310,33 @@ class DaosClient:
     # -- KV operations ----------------------------------------------------------------
     def kv_open(self, container: Container, oid: ObjectId, oclass: ObjectClass = OC_S1):
         """Open (creating on first use) a KV object."""
-        self._count("kv_open")
         kv = container.get_or_create_kv(oid, oclass)
         if kv.lock is None:
             self.system.register_object(kv, oclass, container_salt=container.uuid.int)
+        return (
+            yield from self._submit(
+                Request(
+                    op="kv_open",
+                    body=lambda: self._do_kv_open(kv),
+                    target=self._lead_target(kv),
+                )
+            )
+        )
+
+    def _do_kv_open(self, kv: KeyValueObject):
         yield self._latency()
         yield from self._target_service(self._lead_target(kv), self.config.rpc_service_time)
         yield self._latency()
         return kv
+
+    def request_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes) -> Request:
+        return Request(
+            op="kv_put",
+            body=lambda: self._do_kv_put(kv, key, value),
+            target=self._key_target(kv, key),
+            nbytes=len(value),
+            detail=repr(key),
+        )
 
     def kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
         """Insert/overwrite a key.
@@ -202,7 +345,9 @@ class DaosClient:
         time), which is the mechanism behind the paper's shared-index-KV
         contention (§5.2, Fig 4).
         """
-        self._count("kv_put")
+        return (yield from self._submit(self.request_kv_put(kv, key, value)))
+
+    def _do_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
@@ -221,6 +366,14 @@ class DaosClient:
             raise KeyNotFoundError(f"key {key!r} not found")
         return value
 
+    def request_kv_get(self, kv: KeyValueObject, key: bytes) -> Request:
+        return Request(
+            op="kv_get",
+            body=lambda: self._do_kv_get_or_none(kv, key),
+            target=self._key_target(kv, key),
+            detail=repr(key),
+        )
+
     def kv_get_or_none(self, kv: KeyValueObject, key: bytes):
         """Look up a key, returning ``None`` when absent (Algorithm 1 probe).
 
@@ -228,7 +381,9 @@ class DaosClient:
         service time — VOS dkey-tree descent on a hot shared object is what
         bends the Fig 4 read curves.
         """
-        self._count("kv_get")
+        return (yield from self._submit(self.request_kv_get(kv, key)))
+
+    def _do_kv_get_or_none(self, kv: KeyValueObject, key: bytes):
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
@@ -243,7 +398,17 @@ class DaosClient:
 
     def kv_list(self, kv: KeyValueObject):
         """Enumerate all keys (paged enumeration, one service charge per page)."""
-        self._count("kv_list")
+        return (
+            yield from self._submit(
+                Request(
+                    op="kv_list",
+                    body=lambda: self._do_kv_list(kv),
+                    target=self._lead_target(kv),
+                )
+            )
+        )
+
+    def _do_kv_list(self, kv: KeyValueObject):
         page_size = self.config.kv_list_page_size
         keys = list(kv.keys())
         yield self._latency()
@@ -260,7 +425,18 @@ class DaosClient:
 
     def kv_remove(self, kv: KeyValueObject, key: bytes):
         """Remove a key (same serialisation as a put)."""
-        self._count("kv_remove")
+        return (
+            yield from self._submit(
+                Request(
+                    op="kv_remove",
+                    body=lambda: self._do_kv_remove(kv, key),
+                    target=self._key_target(kv, key),
+                    detail=repr(key),
+                )
+            )
+        )
+
+    def _do_kv_remove(self, kv: KeyValueObject, key: bytes):
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
@@ -277,12 +453,22 @@ class DaosClient:
         self, container: Container, oclass: ObjectClass = OC_S1, oid: Optional[ObjectId] = None
     ):
         """Create a new array (fresh OID unless one is supplied)."""
-        self._count("array_create")
         if oid is None:
             oid = container.oid_allocator.allocate(oclass.class_id)
         array = container.get_or_create_array(oid, oclass)
         if array.lock is None:
             self.system.register_object(array, oclass, container_salt=container.uuid.int)
+        return (
+            yield from self._submit(
+                Request(
+                    op="array_create",
+                    body=lambda: self._do_array_create(container, array),
+                    target=self._lead_target(array),
+                )
+            )
+        )
+
+    def _do_array_create(self, container: Container, array: ArrayObject):
         yield self._latency()
         yield from self._container_touch(container)
         yield from self._target_service(
@@ -293,10 +479,20 @@ class DaosClient:
 
     def array_open(self, container: Container, oid: ObjectId):
         """Open an existing array; raises :class:`ObjectNotFoundError`."""
-        self._count("array_open")
         array = container.get_object(oid)
         if not isinstance(array, ArrayObject):
             raise InvalidArgumentError(f"object {oid} is not an Array")
+        return (
+            yield from self._submit(
+                Request(
+                    op="array_open",
+                    body=lambda: self._do_array_open(container, array),
+                    target=self._lead_target(array),
+                )
+            )
+        )
+
+    def _do_array_open(self, container: Container, array: ArrayObject):
         yield self._latency()
         yield from self._container_touch(container)
         yield from self._target_service(
@@ -305,9 +501,18 @@ class DaosClient:
         yield self._latency()
         return array
 
+    def request_array_close(self, array: ArrayObject) -> Request:
+        return Request(
+            op="array_close",
+            body=lambda: self._do_array_close(array),
+            target=self._lead_target(array),
+        )
+
     def array_close(self, array: ArrayObject):
         """Close an array handle (flush + release)."""
-        self._count("array_close")
+        return (yield from self._submit(self.request_array_close(array)))
+
+    def _do_array_close(self, array: ArrayObject):
         yield from self._target_service(
             self._lead_target(array), self.config.array_close_service_time
         )
@@ -315,7 +520,17 @@ class DaosClient:
 
     def array_get_size(self, array: ArrayObject):
         """Query the array size (a lead-target RPC)."""
-        self._count("array_get_size")
+        return (
+            yield from self._submit(
+                Request(
+                    op="array_get_size",
+                    body=lambda: self._do_array_get_size(array),
+                    target=self._lead_target(array),
+                )
+            )
+        )
+
+    def _do_array_get_size(self, array: ArrayObject):
         yield self._latency()
         yield from self._target_service(self._lead_target(array), self.config.rpc_service_time)
         yield self._latency()
@@ -331,7 +546,19 @@ class DaosClient:
         accounting can never go negative even for arrays written through
         several versions.
         """
-        self._count("array_punch")
+        return (
+            yield from self._submit(
+                Request(
+                    op="array_punch",
+                    body=lambda: self._do_array_punch(container, array, pool),
+                    target=self._lead_target(array),
+                )
+            )
+        )
+
+    def _do_array_punch(
+        self, container: Container, array: ArrayObject, pool: Optional[Pool]
+    ):
         yield self._latency()
         yield array.lock.acquire_write()
         try:
@@ -356,7 +583,17 @@ class DaosClient:
 
         Truncation refunds the discarded bytes to the pool when one is given.
         """
-        self._count("array_set_size")
+        return (
+            yield from self._submit(
+                Request(
+                    op="array_set_size",
+                    body=lambda: self._do_array_set_size(array, size, pool),
+                    target=self._lead_target(array),
+                )
+            )
+        )
+
+    def _do_array_set_size(self, array: ArrayObject, size: int, pool: Optional[Pool]):
         yield self._latency()
         yield array.lock.acquire_write()
         try:
@@ -454,6 +691,22 @@ class DaosClient:
         if events:
             yield self.sim.all_of(events)
 
+    def request_array_write(
+        self,
+        array: ArrayObject,
+        offset: int,
+        payload: Payload,
+        pool: Optional[Pool] = None,
+    ) -> Request:
+        if not isinstance(payload, Payload):
+            payload = BytesPayload(bytes(payload))
+        return Request(
+            op="array_write",
+            body=lambda: self._do_array_write(array, offset, payload, pool),
+            target=self._lead_target(array),
+            nbytes=payload.size,
+        )
+
     def array_write(
         self,
         array: ArrayObject,
@@ -468,9 +721,13 @@ class DaosClient:
         array-level contention the paper describes for the *no index* mode
         under access pattern B (§5.3).
         """
-        self._count("array_write")
-        if not isinstance(payload, Payload):
-            payload = BytesPayload(bytes(payload))
+        return (
+            yield from self._submit(self.request_array_write(array, offset, payload, pool))
+        )
+
+    def _do_array_write(
+        self, array: ArrayObject, offset: int, payload: Payload, pool: Optional[Pool]
+    ):
         yield self._latency()
         yield array.lock.acquire_write()
         try:
@@ -480,9 +737,19 @@ class DaosClient:
             array.lock.release_write()
         yield self._latency()
 
+    def request_array_read(self, array: ArrayObject, offset: int, length: int) -> Request:
+        return Request(
+            op="array_read",
+            body=lambda: self._do_array_read(array, offset, length),
+            target=self._lead_target(array),
+            nbytes=length,
+        )
+
     def array_read(self, array: ArrayObject, offset: int, length: int):
         """Read ``[offset, offset+length)``; concurrent reads share the lock."""
-        self._count("array_read")
+        return (yield from self._submit(self.request_array_read(array, offset, length)))
+
+    def _do_array_read(self, array: ArrayObject, offset: int, length: int):
         yield self._latency()
         yield array.lock.acquire_read()
         try:

@@ -1,0 +1,353 @@
+"""The explicit RPC layer of the DAOS client: requests, completions, middleware.
+
+Every :class:`~repro.daos.client.DaosClient` operation is materialised as a
+:class:`Request` — op kind, target, payload size, and a *re-invocable* body
+generator — and submitted through a chain of :class:`Middleware` objects
+before the body runs.  This mirrors the request pipeline of the real DAOS
+client library (``daos_rpc``/CaRT), where every API call builds an RPC
+descriptor that passes through registered callbacks on its way to the wire.
+
+The middleware chain is where cross-cutting concerns live:
+
+* :class:`MetricsMiddleware` — op counters and per-op latency accounting
+  (always installed; powers the RPC breakdown in experiment reports);
+* :class:`TracingMiddleware` — structured spans into the simulator's
+  :class:`~repro.simulation.trace.Tracer` (no-op unless tracing is enabled);
+* :class:`FaultInjectionMiddleware` — deterministic, seeded fault schedule
+  raising :class:`~repro.daos.errors.SimulatedFaultError` *before* the body
+  executes, so injected failures never leave partial state behind;
+* :class:`RetryMiddleware` — retry with exponential backoff, re-invoking the
+  request body (possible precisely because a Request carries a factory, not
+  a generator instance).
+
+The default chain (metrics + tracing with tracing disabled) adds no
+simulated events, so the blocking call path stays bit-identical to the
+pre-RPC-layer client — the golden digests in
+``tests/bench/test_determinism.py`` are the contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+)
+
+from repro.daos.errors import SimulatedFaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.daos.client import DaosClient
+
+__all__ = [
+    "DATA_OPS",
+    "Request",
+    "Completion",
+    "OpStats",
+    "Middleware",
+    "MetricsMiddleware",
+    "TracingMiddleware",
+    "FaultInjectionMiddleware",
+    "RetryMiddleware",
+    "compose_chain",
+    "merge_op_stats",
+]
+
+#: Ops that move bulk field bytes; everything else is a metadata RPC.  The
+#: split drives the metadata-vs-data rollup of the RPC breakdown report.
+DATA_OPS = frozenset({"array_write", "array_read"})
+
+
+@dataclass
+class Request:
+    """One client RPC: op kind, routing hints, and a re-invocable body.
+
+    ``body`` is a zero-argument factory returning a *fresh* generator that
+    performs the op when driven — retry middleware re-invokes it, so bodies
+    must not close over partially-consumed state.
+    """
+
+    op: str
+    body: Callable[[], Generator]
+    #: Lead/servicing target index when known at build time (``None`` for
+    #: pool-service ops, which have no target).
+    target: Optional[int] = None
+    #: Payload bytes moved by the op (0 for pure metadata RPCs).
+    nbytes: int = 0
+    #: Free-form detail for traces (e.g. a key repr or container label).
+    detail: str = ""
+
+    @property
+    def is_data(self) -> bool:
+        return self.op in DATA_OPS
+
+    @property
+    def kind(self) -> str:
+        """``"data"`` or ``"metadata"`` — the §6.3.1 op taxonomy."""
+        return "data" if self.is_data else "metadata"
+
+
+@dataclass
+class Completion:
+    """Outcome of one asynchronous submission reaped from an event queue."""
+
+    op: str
+    value: Any
+    error: Optional[BaseException]
+    submitted: float
+    completed: float
+    request: Optional[Request] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def latency(self) -> float:
+        return self.completed - self.submitted
+
+    def result(self) -> Any:
+        """The op's return value; re-raises the op's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass
+class OpStats:
+    """Latency/count accumulator for one op kind."""
+
+    count: int = 0
+    errors: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    total_time: float = 0.0
+    min_time: float = float("inf")
+    max_time: float = 0.0
+    total_bytes: int = 0
+
+    def observe(self, elapsed: float, nbytes: int, ok: bool) -> None:
+        self.count += 1
+        if not ok:
+            self.errors += 1
+        self.total_time += elapsed
+        if elapsed < self.min_time:
+            self.min_time = elapsed
+        if elapsed > self.max_time:
+            self.max_time = elapsed
+        self.total_bytes += nbytes
+
+    @property
+    def mean_time(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    def merge(self, other: "OpStats") -> None:
+        self.count += other.count
+        self.errors += other.errors
+        self.retries += other.retries
+        self.faults_injected += other.faults_injected
+        self.total_time += other.total_time
+        self.min_time = min(self.min_time, other.min_time)
+        self.max_time = max(self.max_time, other.max_time)
+        self.total_bytes += other.total_bytes
+
+
+def merge_op_stats(stats_dicts: Iterable[Dict[str, OpStats]]) -> Dict[str, OpStats]:
+    """Merge per-client ``op_metrics`` dicts into one aggregate view."""
+    merged: Dict[str, OpStats] = {}
+    for stats in stats_dicts:
+        for op, entry in stats.items():
+            slot = merged.get(op)
+            if slot is None:
+                merged[op] = slot = OpStats()
+            slot.merge(entry)
+    return merged
+
+
+class Middleware:
+    """Base middleware: pass the request down the chain unchanged.
+
+    ``handle`` is a generator driven inside a simulation process; ``call``
+    invokes the rest of the chain (terminating at ``request.body()``) and
+    may be invoked more than once (retries).
+    """
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        result = yield from call(client, request)
+        return result
+
+
+class MetricsMiddleware(Middleware):
+    """Counts ops and accumulates per-op latency on the owning client.
+
+    Installed outermost, so a retried op counts once and its recorded
+    latency covers every attempt plus the backoff — the latency the caller
+    actually experienced.
+    """
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        stats = client.stats
+        stats[request.op] = stats.get(request.op, 0) + 1
+        entry = client.op_metrics.get(request.op)
+        if entry is None:
+            client.op_metrics[request.op] = entry = OpStats()
+        start = client.sim.now
+        try:
+            result = yield from call(client, request)
+        except BaseException:
+            entry.observe(client.sim.now - start, request.nbytes, ok=False)
+            raise
+        entry.observe(client.sim.now - start, request.nbytes, ok=True)
+        return result
+
+
+class TracingMiddleware(Middleware):
+    """Emits one ``rpc`` span per attempt into the simulator's tracer.
+
+    Free when tracing is disabled: the only cost is a ``tracer is None``
+    check before delegating straight to the rest of the chain.
+    """
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        sim = client.sim
+        if sim.tracer is None:
+            result = yield from call(client, request)
+            return result
+        start = sim.now
+        try:
+            result = yield from call(client, request)
+        except BaseException as exc:
+            sim.record(
+                "rpc",
+                op=request.op,
+                op_kind=request.kind,
+                target=request.target,
+                nbytes=request.nbytes,
+                start=start,
+                end=sim.now,
+                status=type(exc).__name__,
+            )
+            raise
+        sim.record(
+            "rpc",
+            op=request.op,
+            op_kind=request.kind,
+            target=request.target,
+            nbytes=request.nbytes,
+            start=start,
+            end=sim.now,
+            status="ok",
+        )
+        return result
+
+
+class FaultInjectionMiddleware(Middleware):
+    """Deterministic seeded fault schedule (§7's instabilities, on demand).
+
+    Whether attempt ``n`` of a client faults is a pure function of the
+    schedule seed, the client's address, the op kind, and the client's RPC
+    sequence number — independent of wall clock and of every other random
+    stream, so a faulty run is exactly reproducible.  Faults fire *before*
+    the body runs (modelling an RPC lost on the wire): one message latency
+    is charged, then :class:`SimulatedFaultError` is raised, leaving all
+    functional state untouched — which is what makes retry safe.
+    """
+
+    def __init__(self, config) -> None:
+        self.config = config
+        self._sequence = 0
+
+    def _faults(self, client: "DaosClient", request: Request, sequence: int) -> bool:
+        config = self.config
+        if config.ops and request.op not in config.ops:
+            return False
+        token = (
+            f"{config.seed}/{client.address.node}.{client.address.socket}"
+            f"/{request.op}/{sequence}"
+        )
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "little") / float(1 << 64)
+        return fraction < config.rate
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        sequence = self._sequence
+        self._sequence += 1
+        config = self.config
+        under_cap = config.max_faults is None or client.faults_injected < config.max_faults
+        if under_cap and self._faults(client, request, sequence):
+            client.faults_injected += 1
+            entry = client.op_metrics.get(request.op)
+            if entry is not None:
+                entry.faults_injected += 1
+            client.sim.record(
+                "rpc_fault", op=request.op, target=request.target, sequence=sequence
+            )
+            yield client._latency()  # the round trip that never completed
+            raise SimulatedFaultError(
+                f"injected fault on {request.op} (sequence {sequence})"
+            )
+        result = yield from call(client, request)
+        return result
+
+
+class RetryMiddleware(Middleware):
+    """Retry-with-backoff on :class:`SimulatedFaultError`.
+
+    Sits outside fault injection (and the body), so it recovers both
+    injected faults and genuinely raised simulated instabilities.  Backoff
+    is exponential from ``policy.backoff_base``; the final failure is
+    re-raised once ``policy.max_attempts`` is exhausted.
+    """
+
+    def __init__(self, policy) -> None:
+        self.policy = policy
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        policy = self.policy
+        attempt = 1
+        while True:
+            try:
+                result = yield from call(client, request)
+                return result
+            except SimulatedFaultError:
+                if attempt >= policy.max_attempts:
+                    raise
+                entry = client.op_metrics.get(request.op)
+                if entry is not None:
+                    entry.retries += 1
+                client.sim.record("rpc_retry", op=request.op, attempt=attempt)
+                backoff = policy.backoff_base * policy.backoff_factor ** (attempt - 1)
+                yield client.sim.timeout(backoff)
+                attempt += 1
+
+
+def compose_chain(
+    middlewares: List[Middleware],
+) -> Callable[["DaosClient", Request], Generator]:
+    """Fold a middleware list (outermost first) into one callable.
+
+    The returned callable produces the generator that ``DaosClient._submit``
+    drives; the innermost stage invokes ``request.body()``.
+    """
+
+    def terminal(client: "DaosClient", request: Request) -> Generator:
+        return request.body()
+
+    handler = terminal
+    for middleware in reversed(middlewares):
+        handler = _bind(middleware, handler)
+    return handler
+
+
+def _bind(middleware: Middleware, nxt) -> Callable[["DaosClient", Request], Generator]:
+    def handler(client: "DaosClient", request: Request) -> Generator:
+        return middleware.handle(client, request, nxt)
+
+    return handler

@@ -4,7 +4,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments import fig3, fig4, fig5, fig6, fig7, table1, table2
+from repro.experiments import (
+    ablation_async,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    table1,
+    table2,
+)
 from repro.experiments.common import ExperimentResult, Scale
 
 __all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
@@ -17,6 +26,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "fig5": fig5.run,
     "fig6": fig6.run,
     "fig7": fig7.run,
+    "ablation_async": ablation_async.run,
 }
 
 

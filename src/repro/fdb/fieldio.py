@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.daos.client import DaosClient
 from repro.daos.container import Container
+from repro.daos.eq import EventQueue
 from repro.daos.errors import ContainerExistsError, DaosError
 from repro.daos.kv import KeyValueObject
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
@@ -100,6 +101,14 @@ class FieldIO:
     ``kv_oclass`` defaults to striping across all targets (OC_SX) and
     ``array_oclass`` to no striping (OC_S1) — the configuration used for
     Figs 4 and 5, which Fig 6 then varies.
+
+    ``async_io`` enables the pipelined write path of the authors' follow-up
+    work (arXiv:2404.03107): the array transfer/close is overlapped with the
+    forecast-index ``kv_put``, both reaped from an event queue.  The field
+    reference is computable as soon as the array is created (store uuid +
+    OID + size), which is what makes the overlap legal — the index entry
+    never depends on the transfer having finished.  Off by default; the
+    blocking path is the paper's Algorithm 1, bit for bit.
     """
 
     def __init__(
@@ -110,6 +119,7 @@ class FieldIO:
         schema: KeySchema = DEFAULT_SCHEMA,
         kv_oclass: ObjectClass = OC_SX,
         array_oclass: ObjectClass = OC_S1,
+        async_io: bool = False,
     ) -> None:
         self.client = client
         self.pool = pool
@@ -117,9 +127,11 @@ class FieldIO:
         self.schema = schema
         self.kv_oclass = kv_oclass
         self.array_oclass = array_oclass
+        self.async_io = async_io
         self._main_container: Optional[Container] = None
         self._main_kv: Optional[KeyValueObject] = None
         self._forecasts: Dict[FieldKey, _ForecastHandles] = {}
+        self._eq: Optional[EventQueue] = None
 
     # -- bootstrap -----------------------------------------------------------------
     @staticmethod
@@ -244,10 +256,27 @@ class FieldIO:
         lsk = self.schema.lsk(key)
         handles = yield from self._forecast_for_write(msk)
         array = yield from client.array_create(handles.store_container, self.array_oclass)
-        yield from client.array_write(array, 0, payload, pool=self.pool)
         ref = _encode_field_ref(handles.store_container.uuid, array.oid, payload.size)
+        if self.async_io:
+            # Pipelined path: overlap the bulk transfer (+ close) with the
+            # index update; reap both from the event queue and surface the
+            # first failure, like checking ``daos_event_t.ev_error``.
+            eq = self._eq
+            if eq is None:
+                self._eq = eq = client.eq_create("fieldio")
+            eq.launch(self._write_and_close(array, payload), op="array_write_close")
+            eq.submit(client, client.request_kv_put(handles.index_kv, lsk.encode(), ref))
+            completions = yield from eq.wait_all()
+            EventQueue.raise_first_error(completions)
+            return
+        yield from client.array_write(array, 0, payload, pool=self.pool)
         yield from client.array_close(array)
         yield from client.kv_put(handles.index_kv, lsk.encode(), ref)
+
+    def _write_and_close(self, array, payload: Payload):
+        """The array half of a pipelined write: bulk transfer, then close."""
+        yield from self.client.array_write(array, 0, payload, pool=self.pool)
+        yield from self.client.array_close(array)
 
     # -- Algorithm 2: field read ------------------------------------------------------
     def read(self, key: FieldKey):

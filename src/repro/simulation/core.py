@@ -8,7 +8,6 @@ in the order they were scheduled.
 
 from __future__ import annotations
 
-import heapq
 from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
@@ -16,7 +15,7 @@ from typing import Any, Generator, Iterable, List, Optional, Tuple
 from repro.simulation.events import PENDING, AllOf, AnyOf, Event, Timeout
 from repro.simulation.process import Process
 from repro.simulation.rng import RngRegistry
-from repro.simulation.trace import Tracer
+from repro.simulation.trace import Tracer, global_tracer
 
 __all__ = ["Simulator", "StopSimulation"]
 
@@ -55,7 +54,9 @@ class Simulator:
         self._seq = count()
         self._running = False
         self.rng = RngRegistry(seed)
-        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        # trace=True gets a private tracer; otherwise fall back to the
+        # process-wide tracer when one is installed (see ``--trace-out``).
+        self.tracer: Optional[Tracer] = Tracer() if trace else global_tracer()
 
     # -- time --------------------------------------------------------------
     @property

@@ -9,10 +9,17 @@ ordering.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = [
+    "TraceRecord",
+    "Tracer",
+    "global_tracer",
+    "install_global_tracer",
+    "uninstall_global_tracer",
+]
 
 
 @dataclass(frozen=True)
@@ -59,3 +66,44 @@ class Tracer:
             if rec.kind not in seen:
                 seen.append(rec.kind)
         return seen
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write all records to ``path`` as JSON lines; returns the count.
+
+        Each line is ``{"time": ..., "kind": ..., **fields}``.  Field values
+        that are not JSON-native (e.g. object ids) are stringified rather
+        than rejected, so arbitrary model records always serialise.
+        """
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.records:
+                row = {"time": rec.time, "kind": rec.kind}
+                row.update(rec.fields)
+                fh.write(json.dumps(row, default=str))
+                fh.write("\n")
+        return len(self.records)
+
+
+#: Process-wide tracer used by simulators created with ``trace=False`` while
+#: a global tracer is installed (the ``--trace-out`` CLI path: experiments
+#: build their Clusters internally and never pass ``trace=True``).
+_GLOBAL_TRACER: Optional[Tracer] = None
+
+
+def global_tracer() -> Optional[Tracer]:
+    """The currently installed process-wide tracer, or ``None``."""
+    return _GLOBAL_TRACER
+
+
+def install_global_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install (and return) a process-wide tracer picked up by new Simulators."""
+    global _GLOBAL_TRACER
+    if tracer is None:
+        tracer = Tracer()
+    _GLOBAL_TRACER = tracer
+    return tracer
+
+
+def uninstall_global_tracer() -> None:
+    """Remove the process-wide tracer; new Simulators stop tracing."""
+    global _GLOBAL_TRACER
+    _GLOBAL_TRACER = None

@@ -14,7 +14,6 @@ from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, DaosServiceConfig
 from repro.daos.errors import SimulatedFaultError
 from repro.fdb.modes import FieldIOMode
-from repro.units import MiB
 
 
 def tiny_params(**overrides):

@@ -5,7 +5,7 @@ import pytest
 from repro.analytic.model import mpi_p2p_bound
 from repro.bench.mpi_p2p import MpiP2pParams, run_mpi_p2p, sweep_transfer_sizes
 from repro.config import ClusterConfig, PSM2_PROVIDER
-from repro.units import GiB, MiB
+from repro.units import MiB
 
 
 def config(**kwargs):

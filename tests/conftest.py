@@ -7,7 +7,6 @@ import pytest
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig
 from repro.daos.client import DaosClient
-from repro.daos.system import DaosSystem
 from repro.hardware.topology import Cluster
 from repro.simulation.core import Simulator
 

@@ -6,7 +6,6 @@ from repro.config import ClusterConfig
 from repro.daos.client import DaosClient
 from repro.daos.errors import (
     ContainerExistsError,
-    InvalidArgumentError,
     KeyNotFoundError,
     NoSpaceError,
     ObjectNotFoundError,

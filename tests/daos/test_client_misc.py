@@ -115,3 +115,30 @@ def test_zero_byte_array_write_and_read():
     payload = run_process(cluster, flow(client, pool))
     assert payload.size == 0
     assert pool.used == 0
+
+
+def test_kv_remove_roundtrip():
+    from repro.daos.errors import KeyNotFoundError
+
+    cluster, _, pool, client = make_env()
+
+    handles = {}
+
+    def flow():
+        container = yield from client.container_create(pool, label="c")
+        kv = yield from client.kv_open(container, container.oid_allocator.allocate(1))
+        handles["kv"] = kv
+        yield from client.kv_put(kv, b"keep", b"1")
+        yield from client.kv_put(kv, b"drop", b"2")
+        yield from client.kv_remove(kv, b"drop")
+        remaining = yield from client.kv_list(kv)
+        gone = yield from client.kv_get_or_none(kv, b"drop")
+        return remaining, gone
+
+    remaining, gone = run_process(cluster, flow())
+    assert remaining == [b"keep"] and gone is None
+    assert client.stats["kv_remove"] == 1
+    assert client.op_metrics["kv_remove"].count == 1
+
+    with pytest.raises(KeyNotFoundError):
+        run_process(cluster, client.kv_remove(handles["kv"], b"drop"))

@@ -1,6 +1,5 @@
 """Replicated object classes: write fan-out, read replica selection."""
 
-import pytest
 
 from repro.config import ClusterConfig
 from repro.daos.client import DaosClient

@@ -62,3 +62,61 @@ def test_operations_consume_time(daos):
     d = daos.dict()
     d[b"k"] = b"v"
     assert daos.elapsed > t0
+
+
+def test_dict_delete_missing_key_raises(daos):
+    d = daos.dict()
+    with pytest.raises(KeyNotFoundError):
+        del d[b"never-set"]
+
+
+def test_dict_iteration_reflects_deletions(daos):
+    d = daos.dict()
+    for key in (b"a", b"b", b"c"):
+        d[key] = b"x"
+    del d[b"b"]
+    assert list(d) == [b"a", b"c"]
+    assert len(d) == 2
+    d[b"b"] = b"again"  # re-insert lands at the end (insertion order)
+    assert list(d) == [b"a", b"c", b"b"]
+
+
+def test_dict_overwrite_keeps_single_key(daos):
+    d = daos.dict()
+    d[b"k"] = b"v1"
+    d[b"k"] = b"v2"
+    assert d[b"k"] == b"v2"
+    assert len(d) == 1
+
+
+def test_array_truncate_to_zero_and_regrow(daos):
+    a = daos.array()
+    a.write(0, b"0123456789")
+    a.truncate(0)
+    assert a.size() == 0
+    a.write(0, b"abc")
+    assert a.size() == 3
+    assert a.read(0, 3) == b"abc"
+
+
+def test_array_set_size_beyond_end_keeps_data(daos):
+    a = daos.array()
+    a.write(0, b"abc")
+    a.truncate(8)  # size is extent-derived: growing past the end discards nothing
+    assert a.size() == 3
+    assert a.read(0, 3) == b"abc"
+
+
+def test_array_partial_truncate_clips_extent(daos):
+    a = daos.array()
+    a.write(0, b"0123456789")
+    a.truncate(4)
+    assert a.size() == 4
+    assert a.read(0, 4) == b"0123"
+
+
+def test_array_sparse_write_offset(daos):
+    a = daos.array()
+    a.write(5, b"tail")
+    assert a.size() == 9
+    assert a.read(5, 4) == b"tail"

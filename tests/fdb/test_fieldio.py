@@ -203,3 +203,29 @@ def test_forecast_kv_uses_configured_class():
     kv = index_container.get_object(FORECAST_KV_OID)
     assert kv.oclass is OC_S1
     assert len(kv.layout) == 1
+
+
+@pytest.mark.parametrize("mode", list(FieldIOMode))
+def test_async_write_read_roundtrip(mode):
+    """The pipelined write path stores exactly what the blocking path would."""
+    cluster, pool, fieldio = make_fieldio(mode)
+    fieldio.async_io = True
+    data = BytesPayload(b"pipelined-bytes" * 64)
+    run_process(cluster, fieldio.write(full_key(), data))
+    back = run_process(cluster, fieldio.read(full_key()))
+    assert back == data
+    if mode.uses_index:
+        # Both halves of the pipeline ran: the bulk transfer and the index put.
+        assert fieldio.client.stats["array_write"] == 1
+        assert fieldio.client.stats["kv_put"] >= 1
+
+
+def test_async_write_is_not_slower_than_blocking():
+    elapsed = {}
+    for async_io in (False, True):
+        cluster, pool, fieldio = make_fieldio(FieldIOMode.FULL)
+        fieldio.async_io = async_io
+        t0 = cluster.sim.now
+        run_process(cluster, fieldio.write(full_key(), BytesPayload(b"x" * 4096)))
+        elapsed[async_io] = cluster.sim.now - t0
+    assert elapsed[True] <= elapsed[False]

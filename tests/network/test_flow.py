@@ -1,11 +1,10 @@
 """Fluid-flow model: rates, sharing, fairness invariants."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.network.flow import FlowNetwork, Link
+from repro.network.flow import FlowNetwork
 from repro.simulation import Simulator
 
 

@@ -1,6 +1,5 @@
 """Numerical robustness of the fluid-flow model under hostile inputs."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

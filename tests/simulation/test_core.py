@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation import Simulator, Timeout
+from repro.simulation import Simulator
 from repro.simulation.core import StopSimulation
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation import AllOf, AnyOf, ConditionValue, Event, Timeout
+from repro.simulation import AllOf, AnyOf, ConditionValue
 
 
 def test_event_lifecycle(sim):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation import Interrupt, Process
+from repro.simulation import Interrupt
 
 
 def test_process_returns_value(sim):

@@ -6,7 +6,7 @@ from repro.analytic.model import ior_read_bound, ior_write_bound, mpi_p2p_bound
 from repro.bench.ior import IorParams, run_ior
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, PSM2_PROVIDER
-from repro.units import GiB, MiB
+from repro.units import MiB
 
 
 def test_write_bound_engine_limited():
