@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Repo check: lint (when ruff is available) + the tier-1 test suite.
+# Repo check: lint + the tier-1 test suite.
 #
 # Usage: scripts/check.sh [extra pytest args...]
 #
-# ruff is an optional dev dependency — environments without it (e.g. the
-# minimal CI image) skip the lint step with a notice instead of failing,
-# so the check always exercises at least the tests.
+# ruff findings fail the check.  Environments without ruff installed skip
+# the lint step with a notice — unless REQUIRE_LINT=1 (set in CI), where a
+# missing linter is itself a failure, so the lint gate cannot silently
+# disappear from the pipeline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check src tests benchmarks =="
-    ruff check src tests benchmarks
+    if ! ruff check src tests benchmarks; then
+        echo "== ruff findings: failing check =="
+        exit 1
+    fi
+elif [[ "${REQUIRE_LINT:-0}" == "1" ]]; then
+    echo "== REQUIRE_LINT=1 but ruff is not installed: failing check =="
+    exit 1
 else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
 fi

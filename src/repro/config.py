@@ -22,6 +22,8 @@ __all__ = [
     "HardwareConfig",
     "FaultInjectionConfig",
     "RetryPolicy",
+    "EngineFailureEvent",
+    "HealthConfig",
     "DaosServiceConfig",
     "ClusterConfig",
 ]
@@ -56,6 +58,66 @@ class FaultInjectionConfig:
             raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
         if self.max_faults is not None and self.max_faults < 0:
             raise ValueError("max_faults must be non-negative")
+
+
+@dataclass(frozen=True)
+class EngineFailureEvent:
+    """One scheduled health transition of an engine.
+
+    ``at`` is relative to the moment the schedule is armed (by default the
+    instant the :class:`~repro.daos.system.DaosSystem` is built; experiments
+    that need a failure mid-phase arm manually via
+    ``DaosSystem.arm_failure_schedule``).
+    """
+
+    at: float
+    #: Global engine index (order of ``DaosSystem.engines``).
+    engine: int
+    #: ``"fail"`` takes the engine's targets DOWN; ``"reintegrate"`` brings
+    #: previously failed/excluded targets back UP.
+    kind: str = "fail"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be non-negative, got {self.at}")
+        if self.engine < 0:
+            raise ValueError(f"engine index must be non-negative, got {self.engine}")
+        if self.kind not in ("fail", "reintegrate"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Pool health / self-healing model (off by default).
+
+    When disabled, no monitor process is created and no health checks alter
+    the event stream — the default path stays bit-identical to the
+    health-unaware kernel (the golden digests are the contract).  When
+    enabled, the scheduled :class:`EngineFailureEvent` list drives engine
+    failures and reintegrations; replicated objects survive via degraded
+    reads and a background rebuild service re-protects them.
+    """
+
+    enabled: bool = False
+    #: Deterministic failure schedule (see :func:`repro.daos.health.seeded_failure_schedule`
+    #: for deriving one from a seed).
+    events: Tuple[EngineFailureEvent, ...] = ()
+    #: Arm the schedule when the system is built (times relative to t=0).
+    #: Experiments that need a failure relative to a phase boundary set this
+    #: False and call ``DaosSystem.arm_failure_schedule()`` themselves.
+    arm_at_start: bool = True
+    #: Pool-service time of a ``pool_query`` (client pool-map refresh).
+    pool_query_service_time: float = 50 * USEC
+    #: Concurrent shard reconstructions the rebuild service keeps in flight;
+    #: the throttle that trades re-protection time against stolen client
+    #: bandwidth (real DAOS: per-engine rebuild ULTs).
+    rebuild_max_inflight: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rebuild_max_inflight < 1:
+            raise ValueError("rebuild_max_inflight must be >= 1")
+        if self.pool_query_service_time < 0:
+            raise ValueError("pool_query_service_time must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -264,6 +326,9 @@ class DaosServiceConfig:
     #: Retry policy applied by the client's retry middleware whenever fault
     #: injection is enabled (ignored otherwise).
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Pool health / engine-failure / rebuild model (off by default; the
+    #: health-free path is bit-identical to the pre-health kernel).
+    health: HealthConfig = field(default_factory=HealthConfig)
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.daos.array_object import ArrayObject
 from repro.daos.container import Container
 from repro.daos.eq import EventQueue
-from repro.daos.errors import InvalidArgumentError, KeyNotFoundError
+from repro.daos.errors import (
+    InvalidArgumentError,
+    KeyNotFoundError,
+    TargetDownError,
+)
 from repro.daos.kv import KeyValueObject
 from repro.daos.objclass import OC_S1, ObjectClass
 from repro.daos.oid import ObjectId
@@ -43,6 +47,7 @@ from repro.daos.rpc import (
     MetricsMiddleware,
     Middleware,
     OpStats,
+    PoolMapRefreshMiddleware,
     Request,
     RetryMiddleware,
     TracingMiddleware,
@@ -72,6 +77,12 @@ def default_middleware(config) -> List[Middleware]:
     """
     chain: List[Middleware] = [MetricsMiddleware()]
     fault = config.fault_injection
+    if config.health.enabled:
+        # Health-aware retry: a TargetDownError means the client's cached
+        # pool map is (possibly) stale — refetch it and re-route the op.
+        # Sits inside metrics (the refresh round trips count toward the
+        # op's observed latency) and outside plain retry/fault injection.
+        chain.append(PoolMapRefreshMiddleware())
     if fault.enabled and config.retry.max_attempts > 1:
         chain.append(RetryMiddleware(config.retry))
     chain.append(TracingMiddleware())
@@ -115,6 +126,14 @@ class DaosClient:
         self.op_metrics: Dict[str, OpStats] = {}
         #: Total faults injected into this client (fault middleware).
         self.faults_injected = 0
+        #: Pool-map refetches performed after TargetDownError rejections.
+        self.map_refreshes = 0
+        #: Cheap flag guarding every health check — False keeps the default
+        #: path bit-identical to a health-free build.
+        self._health = self.config.health.enabled
+        #: The client's cached pool-map view (possibly stale; refreshed via
+        #: the PoolMapRefreshMiddleware when a target rejects an op).
+        self._map_view = system.pool_map.snapshot()
         if middleware is None:
             middleware = default_middleware(self.config)
         self.middleware = middleware
@@ -139,7 +158,18 @@ class DaosClient:
         return self.sim.timeout(self.provider.message_latency)
 
     def _target_service(self, target_index: int, service_time: float):
-        """Occupy a slot at a target for ``service_time``."""
+        """Occupy a slot at a target for ``service_time``.
+
+        The *authoritative* pool map is consulted first: ops addressed to a
+        non-UP target are rejected before any functional state is touched
+        (the server-side DER_TGT_DOWN a stale client observes), which is
+        what makes the pool-map-refresh retry safe.
+        """
+        if self._health and not self.system.pool_map.is_up(target_index):
+            raise TargetDownError(
+                f"target {target_index} is "
+                f"{self.system.pool_map.state(target_index).value}"
+            )
         target = self.system.target(target_index)
         request = target.service.request()
         yield request
@@ -147,6 +177,21 @@ class DaosClient:
             yield self.sim.timeout(service_time)
         finally:
             target.service.release(request)
+
+    def _refresh_pool_map(self):
+        """Refetch the pool map from the pool service (``pool_query``).
+
+        Returns ``True`` when the fetched map is newer than the cached view —
+        the signal the refresh middleware uses to decide whether retrying
+        can possibly help.
+        """
+        stale_version = self._map_view.version
+        yield self._latency()
+        yield from self._pool_service(self.config.health.pool_query_service_time)
+        yield self._latency()
+        self._map_view = self.system.pool_map.snapshot()
+        self.map_refreshes += 1
+        return self._map_view.version > stale_version
 
     def _pool_service(self, service_time: float):
         """Occupy the (serial) pool service for ``service_time``."""
@@ -158,16 +203,50 @@ class DaosClient:
             self.system.pool_service.release(request)
 
     def _lead_target(self, obj) -> int:
-        return obj.layout[0]
+        """The object's metadata-servicing target, degraded-aware.
 
-    def _key_target(self, kv: KeyValueObject, key: bytes) -> int:
-        """Target servicing a dkey: hashed over the object layout."""
+        When the nominal lead is unavailable in the cached view, metadata
+        ops fall over to the first surviving layout target (the replica that
+        takes over leadership in real DAOS).  Non-replicated objects keep
+        their single target and let the authoritative check reject the op.
+        """
+        layout = obj.layout
+        if self._health and layout[0] in self._map_view.unavailable:
+            for target in layout:
+                if target not in self._map_view.unavailable:
+                    return target
+        return layout[0]
+
+    @staticmethod
+    def _dkey_prefix(key: bytes) -> int:
         prefix = _DKEY_HASH_CACHE.get(key)
         if prefix is None:
             digest = hashlib.sha256(key).digest()
             prefix = int.from_bytes(digest[:4], "little")
             _DKEY_HASH_CACHE[key] = prefix
-        return kv.layout[prefix % len(kv.layout)]
+        return prefix
+
+    def _key_candidates(self, kv: KeyValueObject, key: bytes) -> List[int]:
+        """All replica targets servicing a dkey, hashed over the layout.
+
+        Layout is replica-major (``replica * stripes + slot``); with
+        ``replicas == 1`` this is the single hashed target the original
+        placement used, bit for bit.
+        """
+        layout = kv.layout
+        replicas = kv.oclass.replicas
+        stripes = len(layout) // replicas
+        slot = self._dkey_prefix(key) % stripes
+        return [layout[replica * stripes + slot] for replica in range(replicas)]
+
+    def _key_target(self, kv: KeyValueObject, key: bytes) -> int:
+        """The dkey target a *read* is routed to (degraded-aware)."""
+        candidates = self._key_candidates(kv, key)
+        if self._health and len(candidates) > 1:
+            up = [t for t in candidates if t not in self._map_view.unavailable]
+            if up:
+                return up[(self.address.node + self.address.socket) % len(up)]
+        return candidates[0]
 
     # -- pool / container operations -----------------------------------------------
     def request_pool_connect(self, pool: Pool) -> Request:
@@ -296,6 +375,48 @@ class DaosClient:
         yield self._latency()
         return pool.has_container(ref)
 
+    def container_destroy(self, pool: Pool, ref: ContainerRef):
+        """Destroy a container, releasing every object's storage to the pool.
+
+        Refunds follow each array's shard layout (clamped like
+        ``array_punch``); KV bytes are not pool-charged and need no refund.
+        Cached handles for the container are evicted on every client-visible
+        alias (label and UUID).
+        """
+        return (
+            yield from self._submit(
+                Request(
+                    op="container_destroy",
+                    body=lambda: self._do_container_destroy(pool, ref),
+                    detail=str(ref),
+                )
+            )
+        )
+
+    def _do_container_destroy(self, pool: Pool, ref: ContainerRef):
+        yield self._latency()
+        request = self.system.pool_service.request()
+        yield request
+        try:
+            yield self.sim.timeout(self.config.container_create_service_time)
+            container = pool.destroy_container(ref)
+            for obj in list(container.objects()):
+                if not isinstance(obj, ArrayObject) or obj.nbytes_stored == 0:
+                    continue
+                stripes = obj.oclass.resolve_stripes(self.system.n_targets)
+                shards = shard_layout(
+                    obj.nbytes_stored, stripes, self.config.stripe_cell_size
+                )
+                for shard_index, _offset, length in shards:
+                    for target in self._replica_targets(obj, shard_index, write=True):
+                        pool.refund(target, min(length, pool.target_used(target)))
+        finally:
+            self.system.pool_service.release(request)
+        yield self._latency()
+        self._container_cache.pop((pool.label, str(container.uuid)), None)
+        if container.label:
+            self._container_cache.pop((pool.label, container.label), None)
+
     def _container_touch(self, container: Container):
         """Pool-service touch charged for array ops in non-default containers.
 
@@ -347,13 +468,29 @@ class DaosClient:
         """
         return (yield from self._submit(self.request_kv_put(kv, key, value)))
 
+    def _kv_write_targets(self, kv: KeyValueObject, key: bytes) -> List[int]:
+        """Targets a dkey update must service: every live replica.
+
+        Raises :class:`TargetDownError` when the cached view shows no
+        replica alive — the refresh middleware refetches the map and
+        retries, or surfaces the loss when the map agrees.
+        """
+        candidates = self._key_candidates(kv, key)
+        if self._health and len(candidates) > 1:
+            up = [t for t in candidates if t not in self._map_view.unavailable]
+            if not up:
+                raise TargetDownError(f"all replicas of dkey {key!r} unavailable")
+            return up
+        return candidates
+
     def _do_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
-            yield from self._target_service(
-                self._key_target(kv, key), self.config.kv_put_service_time
-            )
+            for target in self._kv_write_targets(kv, key):
+                yield from self._target_service(
+                    target, self.config.kv_put_service_time
+                )
             kv.put(key, value)
         finally:
             kv.lock.release_write()
@@ -440,9 +577,10 @@ class DaosClient:
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
-            yield from self._target_service(
-                self._key_target(kv, key), self.config.kv_put_service_time
-            )
+            for target in self._kv_write_targets(kv, key):
+                yield from self._target_service(
+                    target, self.config.kv_put_service_time
+                )
             kv.remove(key)
         finally:
             kv.lock.release_write()
@@ -636,16 +774,31 @@ class DaosClient:
 
         Reads pick the replica deterministically from the client address so
         a population of clients spreads over the replica groups.
+
+        Under an unhealthy cached pool map the selection degrades: writes go
+        to every *surviving* replica (rebuild re-protects the rest), reads
+        are served by a surviving one.  A shard with no live replica raises
+        :class:`TargetDownError` — for non-replicated classes the layout
+        target is returned untouched and the authoritative check in
+        :meth:`_target_service` rejects the op instead (honest data loss).
         """
         stripes = array.oclass.resolve_stripes(self.system.n_targets)
         replicas = array.oclass.replicas
+        candidates = [
+            array.layout[replica * stripes + shard_index] for replica in range(replicas)
+        ]
+        if self._health and replicas > 1:
+            up = [t for t in candidates if t not in self._map_view.unavailable]
+            if not up:
+                raise TargetDownError(
+                    f"all {replicas} replicas of {array.oid} shard {shard_index} "
+                    "unavailable"
+                )
+            candidates = up
         if write:
-            return [
-                array.layout[replica * stripes + shard_index]
-                for replica in range(replicas)
-            ]
-        chosen = (self.address.node + self.address.socket) % replicas
-        return [array.layout[chosen * stripes + shard_index]]
+            return candidates
+        chosen = (self.address.node + self.address.socket) % len(candidates)
+        return [candidates[chosen]]
 
     def _array_transfer(self, array: ArrayObject, offset: int, size: int, pool: Optional[Pool], write: bool):
         """Move ``size`` bytes of an array: split into shards, run them in parallel.
@@ -657,39 +810,49 @@ class DaosClient:
         """
         stripes = array.oclass.resolve_stripes(self.system.n_targets)
         shards = shard_layout(size, stripes, self.config.stripe_cell_size)
-        if pool is not None and write:
-            for shard_index, _shard_offset, length in shards:
-                for target in self._replica_targets(array, shard_index, write=True):
-                    pool.charge(target, length)
-        simple = len(shards) == 1 and array.oclass.replicas == 1
-        if simple:
-            yield self.sim.timeout(
-                self.config.shard_issue_write_time
-                if write
-                else self.config.shard_issue_read_time
-            )
-            shard_index, _, length = shards[0]
-            yield from self._shard_io(array.layout[shard_index], length, write)
-            return
-        if not write:
-            # Reads prepare one fetch descriptor per shard before any data
-            # moves (then reassemble); this up-front per-shard cost is what
-            # penalises wide striping for reads (Fig 6: S2 beats SX).
-            yield self.sim.timeout(len(shards) * self.config.shard_issue_read_time)
-        events = []
-        for shard_index, _shard_offset, length in shards:
-            if write:
-                # Writes scatter eagerly: issue cost pipelines with the
-                # transfers already in flight.
-                yield self.sim.timeout(self.config.shard_issue_write_time)
-            for target in self._replica_targets(array, shard_index, write):
-                proc = self.sim.process(
-                    self._shard_io(target, length, write),
-                    name=f"shard{shard_index}@{target}",
+        charged: List[Tuple[int, int]] = []
+        try:
+            if pool is not None and write:
+                for shard_index, _shard_offset, length in shards:
+                    for target in self._replica_targets(array, shard_index, write=True):
+                        pool.charge(target, length)
+                        charged.append((target, length))
+            simple = len(shards) == 1 and array.oclass.replicas == 1
+            if simple:
+                yield self.sim.timeout(
+                    self.config.shard_issue_write_time
+                    if write
+                    else self.config.shard_issue_read_time
                 )
-                events.append(proc)
-        if events:
-            yield self.sim.all_of(events)
+                shard_index, _, length = shards[0]
+                yield from self._shard_io(array.layout[shard_index], length, write)
+                return
+            if not write:
+                # Reads prepare one fetch descriptor per shard before any data
+                # moves (then reassemble); this up-front per-shard cost is what
+                # penalises wide striping for reads (Fig 6: S2 beats SX).
+                yield self.sim.timeout(len(shards) * self.config.shard_issue_read_time)
+            events = []
+            for shard_index, _shard_offset, length in shards:
+                if write:
+                    # Writes scatter eagerly: issue cost pipelines with the
+                    # transfers already in flight.
+                    yield self.sim.timeout(self.config.shard_issue_write_time)
+                for target in self._replica_targets(array, shard_index, write):
+                    proc = self.sim.process(
+                        self._shard_io(target, length, write),
+                        name=f"shard{shard_index}@{target}",
+                    )
+                    events.append(proc)
+            if events:
+                yield self.sim.all_of(events)
+        except TargetDownError:
+            # A target failed between the cached-view selection and the
+            # authoritative check (or mid-flight): roll the space accounting
+            # back so the map-refresh retry charges the new selection once.
+            for target, length in charged:
+                pool.refund(target, min(length, pool.target_used(target)))
+            raise
 
     def request_array_write(
         self,

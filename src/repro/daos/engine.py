@@ -46,7 +46,14 @@ class Target:
 
 
 class Engine:
-    """One DAOS engine: the targets on one socket of a server node."""
+    """One DAOS engine: the targets on one socket of a server node.
+
+    Engines carry the coarse health state the failure schedule toggles
+    (whole-engine loss is the paper-relevant failure unit: one I/O process
+    per socket).  Per-target states and map versioning live in the pool map
+    (:class:`~repro.daos.health.PoolMap`); ``alive`` here is what the health
+    monitor flips and what ``repr`` surfaces for debugging.
+    """
 
     def __init__(
         self,
@@ -56,6 +63,9 @@ class Engine:
         config: DaosServiceConfig,
     ) -> None:
         self.addr = addr
+        self.alive = True
+        #: Times this engine failed (for tests and rebuild stats).
+        self.failure_count = 0
         self.targets: List[Target] = [
             Target(
                 sim,
@@ -71,5 +81,18 @@ class Engine:
     def n_targets(self) -> int:
         return len(self.targets)
 
+    def fail(self) -> None:
+        """Take the engine down (scheduled engine loss)."""
+        self.alive = False
+        self.failure_count += 1
+
+    def reintegrate(self) -> None:
+        """Bring a failed engine back into the system."""
+        self.alive = True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine {self.addr} targets {self.targets[0].global_index}..{self.targets[-1].global_index}>"
+        state = "" if self.alive else " DEAD"
+        return (
+            f"<Engine {self.addr}{state} targets "
+            f"{self.targets[0].global_index}..{self.targets[-1].global_index}>"
+        )

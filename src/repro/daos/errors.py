@@ -16,6 +16,7 @@ __all__ = [
     "NoSpaceError",
     "InvalidArgumentError",
     "SimulatedFaultError",
+    "TargetDownError",
 ]
 
 
@@ -69,3 +70,15 @@ class SimulatedFaultError(DaosError):
     """Injected fault reproducing an instability the paper reports (§7)."""
 
     code = -1026
+
+
+class TargetDownError(DaosError):
+    """Addressed target is DOWN/REBUILDING/EXCLUDED (DER_TGT_DOWN).
+
+    Raised server-side before any functional state is touched, so the
+    client's pool-map-refresh retry can safely re-route the op to a
+    surviving replica (degraded read/write) — or surface the loss when the
+    object has no surviving replica.
+    """
+
+    code = -1037

@@ -22,6 +22,7 @@ __all__ = [
     "OC_S4",
     "OC_SX",
     "OC_RP_2G1",
+    "OC_RP_3G1",
     "object_class_by_name",
     "object_class_by_id",
 ]
@@ -68,9 +69,12 @@ OC_SX = ObjectClass("SX", class_id=31, stripe_count=None)
 #: Extension: 2-way replication, one shard per group (not used by the paper's
 #: benchmarks, available for durability experiments).
 OC_RP_2G1 = ObjectClass("RP_2G1", class_id=130, stripe_count=1, replicas=2)
+#: Extension: 3-way replication — survives a double engine loss, the class
+#: the ``rebuild`` experiment contrasts with RP_2G1.
+OC_RP_3G1 = ObjectClass("RP_3G1", class_id=131, stripe_count=1, replicas=3)
 
 _BY_NAME: Dict[str, ObjectClass] = {
-    oc.name: oc for oc in (OC_S1, OC_S2, OC_S4, OC_SX, OC_RP_2G1)
+    oc.name: oc for oc in (OC_S1, OC_S2, OC_S4, OC_SX, OC_RP_2G1, OC_RP_3G1)
 }
 _BY_ID: Dict[int, ObjectClass] = {oc.class_id: oc for oc in _BY_NAME.values()}
 

@@ -11,12 +11,19 @@ processes and versions (``hash()`` is salted and unsuitable).
 from __future__ import annotations
 
 import hashlib
-from typing import List, Sequence, Tuple
+from typing import AbstractSet, List, Sequence, Tuple
 
+from repro.daos.errors import InvalidArgumentError
 from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
 
-__all__ = ["placement_hash", "place_object", "shard_layout", "shard_for_offset"]
+__all__ = [
+    "placement_hash",
+    "place_object",
+    "remap_target",
+    "shard_layout",
+    "shard_for_offset",
+]
 
 
 def placement_hash(oid: ObjectId, salt: int = 0, container_salt: int = 0) -> int:
@@ -66,8 +73,38 @@ def place_object(
             f"n_groups={n_groups} must be >= 1 and divide n_targets={n_targets}"
         )
     per_group = n_targets // n_groups
+    replicas = oclass.replicas
     layout: List[int] = []
-    for replica in range(oclass.replicas):
+    if replicas == 1:
+        # The paper's classes: plain striping, no distinctness bookkeeping.
+        origin = (
+            placement_hash(ObjectId(0, 0), salt=0, container_salt=container_salt)
+            + oid.lo * stripes
+            + oid.user_hi
+        ) % n_targets
+        for shard in range(stripes):
+            slot = (origin + shard) % n_targets
+            layout.append((slot % n_groups) * per_group + slot // n_groups)
+        return layout
+    # Replicated classes: shards must never co-locate — a replica sharing a
+    # target with another protects nothing.  Tiny pools where that is
+    # impossible are rejected instead of silently degraded.
+    if stripes * replicas > n_targets:
+        raise InvalidArgumentError(
+            f"object class {oclass.name} needs {stripes * replicas} distinct "
+            f"targets ({stripes} stripes x {replicas} replicas) but the pool "
+            f"has only {n_targets}"
+        )
+    # For the G1 classes (one shard per replica) additionally spread the
+    # replicas over target groups (engines) as evenly as the pool allows —
+    # the fault-domain separation that keeps at least one replica alive
+    # through a whole-engine loss.  With enough groups this is "one replica
+    # per engine"; with fewer groups than replicas the cap still guarantees
+    # no single engine holds them all.
+    group_cap = -(-replicas // n_groups) if stripes == 1 else None
+    used_targets: set = set()
+    group_counts: dict = {}
+    for replica in range(replicas):
         origin = (
             placement_hash(ObjectId(0, 0), salt=replica, container_salt=container_salt)
             + oid.lo * stripes
@@ -75,8 +112,50 @@ def place_object(
         ) % n_targets
         for shard in range(stripes):
             slot = (origin + shard) % n_targets
-            layout.append((slot % n_groups) * per_group + slot // n_groups)
+            for _probe in range(n_targets):
+                target = (slot % n_groups) * per_group + slot // n_groups
+                group = target // per_group
+                if target not in used_targets and (
+                    group_cap is None or group_counts.get(group, 0) < group_cap
+                ):
+                    break
+                slot = (slot + 1) % n_targets
+            else:  # pragma: no cover - excluded by the size check above
+                raise InvalidArgumentError(
+                    f"cannot place {oclass.name} shard on {n_targets} targets"
+                )
+            used_targets.add(target)
+            group_counts[group] = group_counts.get(group, 0) + 1
+            layout.append(target)
     return layout
+
+
+def remap_target(
+    oid: ObjectId,
+    shard_position: int,
+    avoid: AbstractSet[int],
+    n_targets: int,
+) -> int:
+    """Deterministic spare target for a displaced shard.
+
+    Used when a layout slot lands on (or loses its data to) an unavailable
+    target: the spare is a pure function of the OID and the layout position,
+    probed linearly past every target in ``avoid`` (unavailable targets plus
+    the rest of the object's layout, so replicas stay distinct).  Raises
+    :class:`InvalidArgumentError` when no target remains.
+    """
+    if len(avoid) >= n_targets:
+        raise InvalidArgumentError(
+            f"no spare target: all {n_targets} targets avoided for {oid}"
+        )
+    start = placement_hash(oid, salt=0x5EED + shard_position) % n_targets
+    for probe in range(n_targets):
+        candidate = (start + probe) % n_targets
+        if candidate not in avoid:
+            return candidate
+    raise InvalidArgumentError(  # pragma: no cover - excluded by len check
+        f"no spare target among {n_targets} for {oid}"
+    )
 
 
 def shard_layout(

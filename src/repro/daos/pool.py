@@ -42,6 +42,11 @@ class Pool:
         self.n_targets = n_targets
         self.scm_bytes_per_target = scm_bytes_per_target
         self._used_per_target: List[int] = [0] * n_targets
+        # Running total kept in lockstep with the per-target list so that
+        # ``used``/``free`` are O(1) — they sit on the hot write path (every
+        # charge consults ``free`` indirectly via NoSpace decisions and the
+        # benchmarks poll them per-op).
+        self._used_total = 0
         self._containers_by_uuid: Dict[uuid_module.UUID, Container] = {}
         self._containers_by_label: Dict[str, Container] = {}
         self._container_counter = 0
@@ -53,7 +58,7 @@ class Pool:
 
     @property
     def used(self) -> int:
-        return sum(self._used_per_target)
+        return self._used_total
 
     @property
     def free(self) -> int:
@@ -78,6 +83,7 @@ class Pool:
                 f"{self.scm_bytes_per_target} B"
             )
         self._used_per_target[target_index] = used + nbytes
+        self._used_total += nbytes
 
     def refund(self, target_index: int, nbytes: int) -> None:
         """Return space on a target (object punch / container destroy)."""
@@ -86,6 +92,7 @@ class Pool:
         if nbytes > self._used_per_target[target_index]:
             raise ValueError("refunding more than is in use on target")
         self._used_per_target[target_index] -= nbytes
+        self._used_total -= nbytes
 
     # -- containers ---------------------------------------------------------------
     def create_container(
@@ -129,10 +136,34 @@ class Pool:
         container.open_handles += 1
         return container
 
+    def destroy_container(self, ref) -> Container:
+        """Remove a container from the pool namespace and return it.
+
+        Raises :class:`ContainerNotFoundError` when absent.  Space release
+        is the caller's job (the client op refunds each object's stored
+        bytes against its layout, mirroring ``array_punch``), because byte
+        accounting per target needs the striping configuration the pool does
+        not hold.
+        """
+        if isinstance(ref, uuid_module.UUID):
+            container = self._containers_by_uuid.get(ref)
+        else:
+            container = self._containers_by_label.get(str(ref))
+        if container is None:
+            raise ContainerNotFoundError(f"container {ref!r} not found")
+        del self._containers_by_uuid[container.uuid]
+        if container.label:
+            del self._containers_by_label[container.label]
+        return container
+
     def has_container(self, ref) -> bool:
         if isinstance(ref, uuid_module.UUID):
             return ref in self._containers_by_uuid
         return str(ref) in self._containers_by_label
+
+    def containers(self):
+        """Iterate all containers (rebuild scans, accounting tests)."""
+        return iter(self._containers_by_uuid.values())
 
     @property
     def n_containers(self) -> int:

@@ -41,7 +41,7 @@ from typing import (
     Optional,
 )
 
-from repro.daos.errors import SimulatedFaultError
+from repro.daos.errors import SimulatedFaultError, TargetDownError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.daos.client import DaosClient
@@ -55,6 +55,7 @@ __all__ = [
     "MetricsMiddleware",
     "TracingMiddleware",
     "FaultInjectionMiddleware",
+    "PoolMapRefreshMiddleware",
     "RetryMiddleware",
     "compose_chain",
     "merge_op_stats",
@@ -295,6 +296,40 @@ class FaultInjectionMiddleware(Middleware):
             )
         result = yield from call(client, request)
         return result
+
+
+class PoolMapRefreshMiddleware(Middleware):
+    """Health-aware retry: refetch the pool map on DER_TGT_DOWN, then re-route.
+
+    A :class:`TargetDownError` means the op addressed a target the server
+    knows is gone — either the client's cached view is stale (the common
+    case right after an engine failure) or the data is genuinely
+    unreachable.  The middleware refetches the pool map and retries the op
+    (re-invoking the body re-runs target selection against the fresh view)
+    *only if* the fetched map is newer than the view the client held;
+    otherwise the error is surfaced, because retrying against the same map
+    would loop forever on a permanently lost object.  The map version is
+    strictly increasing, so the retry loop is bounded by the number of
+    health transitions in the run.
+    """
+
+    def handle(self, client: "DaosClient", request: Request, call):
+        while True:
+            try:
+                result = yield from call(client, request)
+                return result
+            except TargetDownError:
+                refreshed = yield from client._refresh_pool_map()
+                if not refreshed:
+                    raise
+                entry = client.op_metrics.get(request.op)
+                if entry is not None:
+                    entry.retries += 1
+                client.sim.record(
+                    "rpc_map_refresh",
+                    op=request.op,
+                    map_version=client._map_view.version,
+                )
 
 
 class RetryMiddleware(Middleware):

@@ -14,9 +14,10 @@ from typing import Dict, List, Optional
 
 from repro.daos.engine import Engine, Target
 from repro.daos.errors import InvalidArgumentError
+from repro.daos.health import PoolMap, health_monitor
 from repro.daos.locks import RWLock
 from repro.daos.objclass import ObjectClass
-from repro.daos.placement import place_object
+from repro.daos.placement import place_object, remap_target
 from repro.daos.pool import Pool
 from repro.hardware.topology import Cluster
 from repro.network.fabric import NodeSocket
@@ -47,6 +48,38 @@ class DaosSystem:
         self.pool_service = Resource(sim, capacity=1, name="pool_service")
         self.pools: Dict[str, Pool] = {}
         self._uuid_counter = 0
+
+        #: Authoritative target-health map.  Always present (version 1, all
+        #: UP), but only ever *changes* when the health subsystem is enabled
+        #: — so the default path stays bit-identical to a health-free build.
+        self.pool_map = PoolMap(len(self.targets))
+        self.rebuild = None
+        self._schedule_armed = False
+        health = self.config.health
+        if health.enabled:
+            from repro.daos.rebuild import RebuildService
+
+            self.rebuild = RebuildService(self)
+            if health.arm_at_start and health.events:
+                self.arm_failure_schedule()
+
+    # -- health -------------------------------------------------------------------
+    def arm_failure_schedule(self) -> None:
+        """Start the health monitor driving the configured failure events.
+
+        Event times are relative to *now*, so an experiment can run a clean
+        warm-up phase and arm the schedule when the measured phase starts
+        (``HealthConfig.arm_at_start=False``).  Arming twice, or arming with
+        the subsystem disabled, is an error — both would silently distort
+        the event sequence the determinism contract relies on.
+        """
+        if not self.config.health.enabled:
+            raise InvalidArgumentError("health subsystem is disabled by config")
+        if self._schedule_armed:
+            raise InvalidArgumentError("failure schedule is already armed")
+        self._schedule_armed = True
+        if self.config.health.events:
+            self.cluster.sim.process(health_monitor(self), name="health_monitor")
 
     # -- identity helpers --------------------------------------------------------
     def deterministic_uuid(self, namespace: str) -> uuid_module.UUID:
@@ -101,6 +134,18 @@ class DaosSystem:
             container_salt=container_salt,
             n_groups=len(self.engines),
         )
+        # Objects created while targets are down avoid them from the start —
+        # creation is a server-side act, so the authoritative map applies.
+        unavailable = self.pool_map.unavailable
+        if unavailable:
+            for position, target in enumerate(obj.layout):
+                if target in unavailable:
+                    obj.layout[position] = remap_target(
+                        obj.oid,
+                        position,
+                        avoid=unavailable | set(obj.layout),
+                        n_targets=len(self.targets),
+                    )
         obj.lock = RWLock(self.cluster.sim, name=f"obj:{obj.oid}")
 
     def target(self, global_index: int) -> Target:

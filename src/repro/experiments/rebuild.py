@@ -1,0 +1,181 @@
+"""Self-healing experiment: degraded reads and bandwidth under rebuild.
+
+Not a figure from the paper — a forward-looking durability experiment over
+the same model (the paper stores every field once; §8 lists redundancy as
+the obvious production gap).  Per replicated object class (RP_2G1, RP_3G1):
+
+1. a *healthy* round writes a field set and reads it back — the baseline
+   read bandwidth;
+2. a *failure* round writes the same set, then arms a seeded engine-failure
+   schedule timed to fire a quarter of the way into the read phase.  Stale
+   clients hit ``DER_TGT_DOWN``, refetch the pool map, and re-route to
+   surviving replicas (degraded reads, bit-identical payloads — verified
+   in-line), while the background rebuild re-replicates the lost shards
+   over the same fabric links the readers are using.
+
+The headline comparison is bandwidth under rebuild vs the healthy baseline:
+rebuild traffic visibly steals client bandwidth, and a higher replica count
+both spreads degraded reads better and gives rebuild more sources.  The
+report carries the rebuild run stats (duration, bytes moved) and the RPC
+breakdown of the failure rounds, including pool-map refresh retries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.report import format_rpc_breakdown
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig, DaosServiceConfig, HealthConfig
+from repro.daos.client import DaosClient
+from repro.daos.health import seeded_failure_schedule
+from repro.daos.objclass import OC_RP_2G1, OC_RP_3G1, ObjectClass
+from repro.daos.rpc import merge_op_stats
+from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.fdb.fieldio import FieldIO
+from repro.fdb.modes import FieldIOMode
+from repro.units import GiB, KiB, MiB
+from repro.workloads.fields import field_payload
+from repro.workloads.generator import pattern_a_keys
+
+__all__ = ["run"]
+
+TITLE = "Self-healing: degraded reads and bandwidth under rebuild vs object class"
+
+CLASSES = (OC_RP_2G1, OC_RP_3G1)
+
+
+def _field_stream(fieldio: FieldIO, keys, op: str, field_size: int):
+    """One process's phase: write or read-and-verify its key sequence."""
+    for key in keys:
+        if op == "write":
+            yield from fieldio.write(key, field_payload(key, field_size))
+        else:
+            payload = yield from fieldio.read(key)
+            expected = field_payload(key, field_size)
+            if payload.to_bytes() != expected.to_bytes():
+                raise AssertionError(
+                    f"degraded read of {key.canonical()!r} is not bit-identical"
+                )
+
+
+def _phase(cluster, system, pool, oclass: ObjectClass, op: str, n_ops: int,
+           field_size: int, ppn: int) -> Dict:
+    """Run one write or read phase across all client processes."""
+    sim = cluster.sim
+    addresses = cluster.client_addresses(ppn)
+    clients: List[DaosClient] = []
+    processes = []
+    start = sim.now
+    for rank, address in enumerate(addresses):
+        fieldio = FieldIO(
+            DaosClient(system, address),
+            pool,
+            mode=FieldIOMode.FULL,
+            kv_oclass=oclass,
+            array_oclass=oclass,
+        )
+        clients.append(fieldio.client)
+        keys = pattern_a_keys(rank, n_ops, shared_forecast=False)
+        processes.append(
+            sim.process(
+                _field_stream(fieldio, keys, op, field_size),
+                name=f"rebuild-exp:{op}:{rank}",
+            )
+        )
+    sim.run(until=sim.all_of(processes))
+    duration = sim.now - start
+    nbytes = len(addresses) * n_ops * field_size
+    return {
+        "duration": duration,
+        "bandwidth": nbytes / duration if duration > 0 else 0.0,
+        "clients": clients,
+    }
+
+
+def _round(config: ClusterConfig, oclass: ObjectClass, n_ops: int,
+           field_size: int, ppn: int, arm: bool) -> Dict:
+    """One full write-then-read round; ``arm`` starts the failure schedule
+    between the phases, so the engine loss lands mid-read."""
+    cluster, system, pool = build_deployment(config)
+    boot = DaosClient(system, cluster.client_addresses(1)[0])
+    process = cluster.sim.process(FieldIO.bootstrap(boot, pool))
+    cluster.sim.run(until=process)
+    _phase(cluster, system, pool, oclass, "write", n_ops, field_size, ppn)
+    if arm:
+        system.arm_failure_schedule()
+    read = _phase(cluster, system, pool, oclass, "read", n_ops, field_size, ppn)
+    # Let any in-flight rebuild finish so its duration is reportable.
+    cluster.sim.run()
+    read["rebuild_runs"] = list(system.rebuild.runs) if system.rebuild else []
+    read["map_refreshes"] = sum(c.map_refreshes for c in read["clients"])
+    read["rpc_stats"] = merge_op_stats(c.op_metrics for c in read["clients"])
+    return read
+
+
+def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+    if scale.is_paper:
+        servers, clients, ppn, n_ops, field_size = 2, 4, 8, 60, 1 * MiB
+    else:
+        servers, clients, ppn, n_ops, field_size = 1, 2, 2, 8, 256 * KiB
+
+    result = ExperimentResult(experiment="rebuild", title=TITLE)
+    result.headers = [
+        "class",
+        "healthy r GiB/s",
+        "under-rebuild r GiB/s",
+        "loss %",
+        "rebuild ms",
+        "moved MiB",
+        "map refreshes",
+    ]
+    healthy_bws: List[float] = []
+    degraded_bws: List[float] = []
+    for oclass in CLASSES:
+        base_config = ClusterConfig(
+            n_server_nodes=servers, n_client_nodes=clients, seed=seed
+        )
+        healthy = _round(base_config, oclass, n_ops, field_size, ppn, arm=False)
+
+        # Seed the failure to land a quarter of the way into the read phase
+        # (the healthy round's duration is deterministic, so this is too).
+        fail_at = 0.25 * healthy["duration"]
+        events = seeded_failure_schedule(
+            seed, n_engines=base_config.total_engines, n_failures=1,
+            window=(fail_at, fail_at),
+        )
+        fail_config = ClusterConfig(
+            n_server_nodes=servers,
+            n_client_nodes=clients,
+            seed=seed,
+            daos=DaosServiceConfig(
+                health=HealthConfig(enabled=True, events=events, arm_at_start=False)
+            ),
+        )
+        degraded = _round(fail_config, oclass, n_ops, field_size, ppn, arm=True)
+
+        healthy_bws.append(healthy["bandwidth"])
+        degraded_bws.append(degraded["bandwidth"])
+        loss = (1.0 - degraded["bandwidth"] / healthy["bandwidth"]) * 100.0
+        rebuild_runs = degraded["rebuild_runs"]
+        rebuild_ms = sum((r.duration or 0.0) for r in rebuild_runs) * 1e3
+        moved = sum(r.bytes_moved for r in rebuild_runs) / MiB
+        result.rows.append(
+            [
+                oclass.name,
+                f"{healthy['bandwidth'] / GiB:.2f}",
+                f"{degraded['bandwidth'] / GiB:.2f}",
+                f"{loss:+.1f}",
+                f"{rebuild_ms:.2f}",
+                f"{moved:.1f}",
+                degraded["map_refreshes"],
+            ]
+        )
+        result.notes.append(
+            f"RPC breakdown ({oclass.name} reads under rebuild):\n"
+            + format_rpc_breakdown(degraded["rpc_stats"])
+        )
+    names = [oclass.name for oclass in CLASSES]
+    result.series.append(Series("read healthy", names, healthy_bws))
+    result.series.append(Series("read under rebuild", names, degraded_bws))
+    return result

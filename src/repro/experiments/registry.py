@@ -11,6 +11,7 @@ from repro.experiments import (
     fig5,
     fig6,
     fig7,
+    rebuild,
     table1,
     table2,
 )
@@ -27,6 +28,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "fig6": fig6.run,
     "fig7": fig7.run,
     "ablation_async": ablation_async.run,
+    "rebuild": rebuild.run,
 }
 
 

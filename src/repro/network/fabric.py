@@ -180,6 +180,28 @@ class Fabric:
             port.stack_rx,
         )
 
+    def rebuild_path(self, src: NodeSocket, dst: NodeSocket) -> Tuple[Link, ...]:
+        """Links an engine-to-engine rebuild transfer traverses.
+
+        Rebuild reads a surviving replica from ``src`` SCM and re-writes it
+        to ``dst`` SCM, riding the same server adapters, rails, and media
+        links client traffic uses — so rebuild visibly steals bandwidth from
+        concurrent reads (shared ``src`` media/tx) and writes (shared ``dst``
+        media, amplified like any other SCM write).  Server-to-server
+        transfers travel the s2c switch direction, contending with client
+        reads rather than writes on the rails.
+        """
+        media_in = (self._scm_media[dst],) * self.config.hardware.scm_write_amplification
+        return (
+            self._scm_media[src],
+            self._engine_tx[src],
+            self._server_adapters[src].tx,
+            *self._rail_hop(src.socket, dst.socket, "s2c"),
+            self._server_adapters[dst].rx,
+            self._engine_rx[dst],
+            *media_in,
+        )
+
     def p2p_path(self, src: NodeSocket, dst: NodeSocket) -> Tuple[Link, ...]:
         """Adapter-to-adapter path between two *client* ports.
 

@@ -142,3 +142,23 @@ def test_kv_remove_roundtrip():
 
     with pytest.raises(KeyNotFoundError):
         run_process(cluster, client.kv_remove(handles["kv"], b"drop"))
+
+
+def test_container_destroy_releases_pool_space():
+    cluster, _system, pool, client = make_env()
+
+    def flow():
+        container = yield from client.container_create(pool, label="temp")
+        array = yield from client.array_create(container, OC_S1)
+        yield from client.array_write(array, 0, PatternPayload(2 * MiB, seed=4), pool=pool)
+        return container
+
+    run_process(cluster, flow())
+    assert pool.used == 2 * MiB
+    run_process(cluster, client.container_destroy(pool, "temp"))
+    assert pool.used == 0
+    assert not pool.has_container("temp")
+    # The destroy evicted the client's cached handle too: a fresh create
+    # under the same label starts an empty container.
+    container = run_process(cluster, client.container_create(pool, label="temp"))
+    assert list(container.objects()) == []

@@ -1,0 +1,89 @@
+"""Event-queue error paths: parked error completions, empty-queue polls."""
+
+import pytest
+
+from repro.daos.eq import EventQueue
+from repro.simulation.core import Simulator
+from tests.conftest import run_process
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+class BoomError(RuntimeError):
+    pass
+
+
+def ok_op(sim, delay, value):
+    yield sim.timeout(delay)
+    return value
+
+
+def failing_op(sim, delay):
+    yield sim.timeout(delay)
+    raise BoomError("simulated op failure")
+
+
+def test_poll_reaps_parked_error_completion(sim):
+    """A failed async op must not crash the simulator: its error is parked
+    as a Completion and surfaces only when the caller reaps and checks."""
+    eq = EventQueue(sim)
+
+    def flow():
+        eq.launch(failing_op(sim, 0.5), op="boom")
+        completions = yield from eq.poll()
+        return completions
+
+    (completion,) = run_process(sim, flow())
+    assert not completion.ok
+    assert isinstance(completion.error, BoomError)
+    assert completion.latency == pytest.approx(0.5)
+    with pytest.raises(BoomError):
+        completion.result()
+
+
+def test_raise_first_error_rethrows(sim):
+    eq = EventQueue(sim)
+
+    def flow():
+        eq.launch(ok_op(sim, 0.1, "fine"), op="ok")
+        eq.launch(failing_op(sim, 0.2), op="boom")
+        completions = yield from eq.wait_all()
+        return completions
+
+    completions = run_process(sim, flow())
+    assert [c.ok for c in completions] == [True, False]
+    with pytest.raises(BoomError):
+        EventQueue.raise_first_error(completions)
+
+
+def test_poll_on_empty_queue_returns_immediately(sim):
+    """Polling with nothing in flight must not suspend forever — it returns
+    an empty reap, like ``daos_eq_poll`` on a drained queue."""
+    eq = EventQueue(sim)
+
+    def flow():
+        completions = yield from eq.poll()
+        return completions
+
+    assert run_process(sim, flow()) == []
+    assert sim.now == 0.0  # returned without consuming simulated time
+
+
+def test_test_is_nonblocking_and_drains(sim):
+    eq = EventQueue(sim)
+    assert eq.test() == []
+
+    def flow():
+        eq.launch(ok_op(sim, 0.3, 42), op="ok")
+        assert eq.test() == []  # not complete yet: nothing to reap
+        yield sim.timeout(1.0)
+        (completion,) = eq.test()
+        assert completion.value == 42
+        assert eq.test() == []  # reaping empties the queue
+        return completion
+
+    completion = run_process(sim, flow())
+    assert completion.ok and len(eq) == 0

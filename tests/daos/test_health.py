@@ -1,0 +1,136 @@
+"""Pool health map: target states, map versions, seeded failure schedules."""
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig, DaosServiceConfig, EngineFailureEvent, HealthConfig
+from repro.daos.health import (
+    PoolMap,
+    TargetState,
+    seeded_failure_schedule,
+)
+
+
+def test_target_state_availability():
+    assert TargetState.UP.available
+    for state in (TargetState.DOWN, TargetState.REBUILDING, TargetState.EXCLUDED):
+        assert not state.available
+
+
+def test_pool_map_starts_healthy_at_version_one():
+    pmap = PoolMap(8)
+    assert pmap.version == 1
+    assert pmap.unavailable == frozenset()
+    assert all(pmap.is_up(t) for t in range(8))
+
+
+def test_set_state_bumps_version_once_per_event():
+    pmap = PoolMap(8)
+    pmap.set_state([2, 3], TargetState.DOWN)
+    assert pmap.version == 2  # one bump for the whole event, not per target
+    assert pmap.state(2) is TargetState.DOWN
+    assert pmap.unavailable == frozenset({2, 3})
+    pmap.set_state([2, 3], TargetState.UP)
+    assert pmap.version == 3
+    assert pmap.unavailable == frozenset()
+
+
+def test_snapshot_is_cached_until_the_map_changes():
+    pmap = PoolMap(4)
+    first = pmap.snapshot()
+    assert pmap.snapshot() is first  # no change, same immutable view
+    pmap.set_state([1], TargetState.DOWN)
+    second = pmap.snapshot()
+    assert second is not first
+    assert second.version == first.version + 1
+    assert not second.is_up(1) and first.is_up(1)
+
+
+def test_seeded_schedule_is_deterministic():
+    a = seeded_failure_schedule(seed=3, n_engines=4, n_failures=2)
+    b = seeded_failure_schedule(seed=3, n_engines=4, n_failures=2)
+    assert a == b
+    assert a != seeded_failure_schedule(seed=4, n_engines=4, n_failures=2)
+
+
+def test_seeded_schedule_respects_window_and_engine_range():
+    events = seeded_failure_schedule(
+        seed=0, n_engines=3, n_failures=3, window=(1.5, 2.5)
+    )
+    assert len(events) == 3
+    for event in events:
+        assert 1.5 <= event.at <= 2.5
+        assert 0 <= event.engine < 3
+        assert event.kind == "fail"
+
+
+def test_seeded_schedule_reintegration_pairs():
+    events = seeded_failure_schedule(
+        seed=1, n_engines=2, n_failures=1, window=(0.0, 1.0), reintegrate_after=5.0
+    )
+    kinds = [event.kind for event in events]
+    assert kinds.count("fail") == 1 and kinds.count("reintegrate") == 1
+    fail = next(e for e in events if e.kind == "fail")
+    back = next(e for e in events if e.kind == "reintegrate")
+    assert back.engine == fail.engine
+    assert back.at == pytest.approx(fail.at + 5.0)
+
+
+def _health_deployment(events, arm_at_start=True):
+    config = ClusterConfig(
+        n_server_nodes=1,
+        n_client_nodes=1,
+        seed=7,
+        daos=DaosServiceConfig(
+            health=HealthConfig(
+                enabled=True, events=tuple(events), arm_at_start=arm_at_start
+            )
+        ),
+    )
+    return build_deployment(config)
+
+
+def test_monitor_applies_fail_then_reintegrate():
+    events = (
+        EngineFailureEvent(at=0.5, engine=1, kind="fail"),
+        EngineFailureEvent(at=1.0, engine=1, kind="reintegrate"),
+    )
+    cluster, system, _pool = _health_deployment(events)
+    engine = system.engines[1]
+    targets = [t.global_index for t in engine.targets]
+
+    cluster.sim.run()
+    # After the full schedule the engine is back and the map reflects every
+    # transition: fail (DOWN), rebuild completion (EXCLUDED), reintegrate (UP).
+    assert engine.alive
+    assert engine.failure_count == 1
+    assert all(system.pool_map.is_up(t) for t in targets)
+    assert system.pool_map.version > 1
+
+
+def test_arming_twice_is_rejected():
+    from repro.daos.errors import InvalidArgumentError
+
+    events = (EngineFailureEvent(at=0.1, engine=0, kind="fail"),)
+    _cluster, system, _pool = _health_deployment(events, arm_at_start=False)
+    system.arm_failure_schedule()
+    with pytest.raises(InvalidArgumentError):
+        system.arm_failure_schedule()
+
+
+def test_arming_disabled_health_is_rejected():
+    from repro.daos.errors import InvalidArgumentError
+
+    _cluster, system, _pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=7)
+    )
+    with pytest.raises(InvalidArgumentError):
+        system.arm_failure_schedule()
+
+
+def test_disabled_health_changes_nothing():
+    _cluster, system, _pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=7)
+    )
+    assert system.rebuild is None
+    assert system.pool_map.version == 1

@@ -62,3 +62,11 @@ def test_invalid_definitions_rejected():
 
 def test_str():
     assert str(OC_SX) == "SX"
+
+
+def test_rp_3g1_definition():
+    from repro.daos.objclass import OC_RP_3G1, object_class_by_name
+
+    assert OC_RP_3G1.replicas == 3
+    assert OC_RP_3G1.stripe_count == 1
+    assert object_class_by_name("rp_3g1") is OC_RP_3G1

@@ -118,3 +118,59 @@ def test_shard_layout_conservation_property(size, stripes, cell):
     assert len(indices) == len(set(indices))
     assert all(0 <= s < stripes for s in indices)
     assert all(length > 0 for _, _, length in shards)
+
+
+def test_replicated_oversubscription_rejected():
+    from repro.daos.errors import InvalidArgumentError
+    from repro.daos.objclass import OC_RP_3G1
+
+    oid = ObjectId.from_user(1, 0)
+    with pytest.raises(InvalidArgumentError, match="distinct"):
+        place_object(oid, OC_RP_3G1, n_targets=2)
+    # Exactly enough targets is fine — and still fully distinct.
+    layout = place_object(oid, OC_RP_3G1, n_targets=3)
+    assert len(set(layout)) == 3
+
+
+def test_rp3_replicas_spread_over_engines():
+    from repro.daos.objclass import OC_RP_3G1
+
+    for lo in range(32):
+        layout = place_object(
+            ObjectId.from_user(lo, 0), OC_RP_3G1, n_targets=48, n_groups=3
+        )
+        groups = {target // 16 for target in layout}
+        assert len(groups) == 3  # one replica per engine when pool allows
+
+
+def test_rp3_on_two_engines_never_collapses_onto_one():
+    """Fewer engines than replicas: the per-group cap still guarantees the
+    replicas span both engines, so a single engine loss never kills all."""
+    from repro.daos.objclass import OC_RP_3G1
+
+    for lo in range(32):
+        layout = place_object(
+            ObjectId.from_user(lo, 0), OC_RP_3G1, n_targets=32, n_groups=2
+        )
+        assert len(set(layout)) == 3
+        assert len({target // 16 for target in layout}) == 2
+
+
+def test_remap_target_avoids_and_is_deterministic():
+    from repro.daos.placement import remap_target
+
+    oid = ObjectId.from_user(7, 0)
+    avoid = frozenset(range(8)) | {12, 13}
+    spare = remap_target(oid, 1, avoid=avoid, n_targets=16)
+    assert spare not in avoid
+    assert spare == remap_target(oid, 1, avoid=avoid, n_targets=16)
+    # Different layout positions hash independently but obey the same avoid set.
+    assert remap_target(oid, 0, avoid=avoid, n_targets=16) not in avoid
+
+
+def test_remap_target_exhausted_pool_rejected():
+    from repro.daos.errors import InvalidArgumentError
+    from repro.daos.placement import remap_target
+
+    with pytest.raises(InvalidArgumentError, match="no spare"):
+        remap_target(ObjectId.from_user(1, 0), 0, avoid=frozenset(range(4)), n_targets=4)

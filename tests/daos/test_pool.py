@@ -100,3 +100,33 @@ def test_n_containers(pool):
     pool.create_container()
     pool.create_container()
     assert pool.n_containers == 2
+
+
+def test_used_total_tracks_charges_and_refunds(pool):
+    """``used`` is a running total (O(1)), so it must stay consistent with
+    the per-target ledger through interleaved charges and refunds."""
+    pool.charge(0, 400)
+    pool.charge(1, 250)
+    pool.charge(0, 100)
+    pool.refund(0, 150)
+    assert pool.used == 600
+    assert pool.used == sum(pool.target_used(t) for t in range(4))
+    pool.refund(1, 250)
+    pool.refund(0, 350)
+    assert pool.used == 0
+
+
+def test_destroy_container_removes_both_keys(pool):
+    container = pool.create_container(label="doomed")
+    assert pool.destroy_container("doomed") is container
+    assert not pool.has_container("doomed")
+    assert not pool.has_container(container.uuid)
+    assert pool.n_containers == 0
+    with pytest.raises(ContainerNotFoundError):
+        pool.destroy_container("doomed")
+
+
+def test_destroy_container_by_uuid(pool):
+    container = pool.create_container(label="x")
+    assert pool.destroy_container(container.uuid) is container
+    assert pool.n_containers == 0

@@ -8,7 +8,7 @@ from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation_async",
+        "ablation_async", "rebuild",
     }
 
 
@@ -38,3 +38,19 @@ def test_run_experiment_table1_smoke():
 def test_run_experiment_rejects_bad_scale():
     with pytest.raises(ValueError):
         run_experiment("table2", scale="gigantic")
+
+
+def test_run_experiment_rebuild_smoke():
+    """The self-healing experiment: deterministic, and rebuild traffic
+    visibly reduces concurrent client read bandwidth for every class."""
+    result = run_experiment("rebuild", scale="ci", seed=0)
+    again = run_experiment("rebuild", scale="ci", seed=0)
+    assert result.rows == again.rows  # deterministic report
+
+    assert [row[0] for row in result.rows] == ["RP_2G1", "RP_3G1"]
+    healthy, degraded = result.series
+    assert healthy.name == "read healthy"
+    for healthy_bw, degraded_bw in zip(healthy.ys, degraded.ys):
+        assert degraded_bw < healthy_bw
+    # Every class saw at least one pool-map refresh (stale readers re-routed).
+    assert all(row[-1] >= 1 for row in result.rows)
