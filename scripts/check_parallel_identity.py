@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Machine-check: serial vs --jobs N reports are byte-identical.
+
+Renders every registered experiment at CI scale twice — once serially and
+once through the process-pool grid runner — and fails if any report differs
+by a single byte.  This is the acceptance gate for the deterministic-merge
+contract of ``repro.experiments.runner``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_parallel_identity.py [--jobs N]
+                                                             [--scale ci|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExecOptions, exec_options
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    failures = []
+    for name in sorted(EXPERIMENTS):
+        start = time.time()
+        serial = run_experiment(name, scale=args.scale, seed=args.seed).render()
+        serial_wall = time.time() - start
+
+        start = time.time()
+        with exec_options(ExecOptions(jobs=args.jobs)):
+            parallel = run_experiment(name, scale=args.scale, seed=args.seed).render()
+        parallel_wall = time.time() - start
+
+        if parallel == serial:
+            print(
+                f"ok   {name:16s} serial {serial_wall:6.1f}s"
+                f"  -j{args.jobs} {parallel_wall:6.1f}s"
+            )
+        else:
+            failures.append(name)
+            print(f"FAIL {name}: serial and -j{args.jobs} reports differ")
+            diff = difflib.unified_diff(
+                serial.splitlines(), parallel.splitlines(),
+                fromfile="serial", tofile=f"jobs={args.jobs}", lineterm="",
+            )
+            for line in list(diff)[:40]:
+                print(f"     {line}")
+
+    if failures:
+        print(f"\n{len(failures)} experiment(s) not byte-identical: {failures}")
+        return 1
+    print(f"\nall {len(EXPERIMENTS)} experiments byte-identical at -j{args.jobs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""CI gate: cold-then-warm parallel runs match the serial golden.
+
+Runs one CI-scale experiment three ways:
+
+1. serial, no cache — the golden report;
+2. ``--jobs N`` with a cold cache — must match the golden byte for byte;
+3. ``--jobs N`` again with the now-warm cache — must match the golden AND be
+   served >= 90% from cache (the issue's regression bar for the persistent
+   result cache).
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_cache_check.py [--experiment fig3]
+                                                    [--jobs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import ExecOptions, exec_options
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="fig3")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cache location (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    cache_dir = args.cache_dir or Path(tempfile.mkdtemp(prefix="repro-cache-"))
+
+    golden = run_experiment(args.experiment, scale="ci", seed=args.seed).render()
+    print(f"serial golden: {len(golden)} bytes")
+
+    cold_cache = ResultCache(cache_dir)
+    start = time.time()
+    with exec_options(ExecOptions(jobs=args.jobs, cache=cold_cache)):
+        cold = run_experiment(args.experiment, scale="ci", seed=args.seed).render()
+    cold_wall = time.time() - start
+    print(f"cold -j{args.jobs}: {cold_wall:.1f}s  cache {cold_cache.stats_line()}")
+    if cold != golden:
+        print("FAIL: cold parallel report differs from serial golden")
+        return 1
+
+    warm_cache = ResultCache(cache_dir)
+    start = time.time()
+    with exec_options(ExecOptions(jobs=args.jobs, cache=warm_cache)):
+        warm = run_experiment(args.experiment, scale="ci", seed=args.seed).render()
+    warm_wall = time.time() - start
+    print(f"warm -j{args.jobs}: {warm_wall:.1f}s  cache {warm_cache.stats_line()}")
+    if warm != golden:
+        print("FAIL: warm parallel report differs from serial golden")
+        return 1
+
+    total = warm_cache.hits + warm_cache.misses
+    served = warm_cache.hits / total if total else 0.0
+    print(f"warm run served {served:.0%} from cache ({warm_cache.hits}/{total})")
+    if served < 0.90:
+        print("FAIL: warm run served < 90% from cache")
+        return 1
+
+    print("ok: both parallel runs match the serial golden; cache is effective")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -258,12 +258,67 @@ def _fieldio_small(quick: bool) -> ScenarioResult:
     )
 
 
+# -- scenario: grid runner fan-out --------------------------------------------------
+
+
+def _grid_fanout(quick: bool) -> ScenarioResult:
+    """Process-pool grid runner: serial vs ``--jobs`` over real IOR units.
+
+    Measures the fan-out machinery itself (pool spin-up, pickling, result
+    slotting) against identical tiny work units, and asserts every parallel
+    job count reproduces the serial results exactly — the merge-determinism
+    contract the experiment drivers rely on.
+    """
+    import json
+
+    from repro.experiments.runner import ExecOptions, GridSpec, run_grid
+    from repro.experiments.units import ior_point
+
+    n_units, job_counts = (4, (1, 2)) if quick else (8, (1, 2, 4))
+    grid = GridSpec("grid_fanout")
+    for i in range(n_units):
+        grid.add(
+            ior_point,
+            servers=1,
+            clients=1,
+            ppn=2,
+            segments=4,
+            segment_size=1 * MiB,
+            seed=100 + i,
+        )
+
+    walls: Dict[str, float] = {}
+    reference: List[dict] = []
+    for jobs in job_counts:
+        start = time.perf_counter()
+        results = run_grid(grid, ExecOptions(jobs=jobs))
+        walls[f"wall_j{jobs}"] = time.perf_counter() - start
+        if jobs == 1:
+            reference = results
+        elif results != reference:
+            raise AssertionError(
+                f"grid_fanout: jobs={jobs} results differ from serial"
+            )
+
+    digest = _hexdigest([json.dumps(reference, sort_keys=True)])
+    return ScenarioResult(
+        name="grid_fanout",
+        # Runner overhead is host-scheduler work, not simulated time; the
+        # digest covers the simulated outcomes of every unit.
+        wall_s=walls["wall_j1"],
+        sim_time=sum(point["sim_time"] for point in reference),
+        digest=digest,
+        extra={"n_units": n_units, **{k: round(v, 6) for k, v in walls.items()}},
+    )
+
+
 #: Registry of kernel perf scenarios, in reporting order.
 SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "many_flow_contention": _many_flow_contention,
     "barrier_burst": _barrier_burst,
     "kv_storm": _kv_storm,
     "fieldio_small": _fieldio_small,
+    "grid_fanout": _grid_fanout,
 }
 
 

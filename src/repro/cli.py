@@ -90,6 +90,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for grid points (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".repro-cache"),
+        metavar="DIR",
+        help="persistent result cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache",
+    )
+    parser.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -163,6 +183,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     scale = "paper" if args.paper_scale else "ci"
     names = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
+
+    from repro.experiments.cache import SIMULATOR_VERSION_SALT, open_cache
+    from repro.experiments.runner import ExecOptions, exec_options
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.trace_out is not None and (args.jobs > 1 or not args.no_cache):
+        # The global tracer lives in this process: grid points computed by
+        # pool workers or served from cache would silently escape it, so a
+        # traced run is always serial and uncached.
+        print("note: --trace-out forces --jobs 1 --no-cache", file=sys.stderr)
+        args.jobs = 1
+        args.no_cache = True
+    cache = None if args.no_cache else open_cache(args.cache_dir)
+    options = ExecOptions(
+        jobs=args.jobs, cache=cache, progress=sys.stderr.isatty()
+    )
+    # Reproducibility header: results files regenerated via redirection carry
+    # the exact execution settings they were produced with.
+    print(f"# experiments: {' '.join(names)}")
+    print(f"# scale: {scale}  seed: {args.seed}  jobs: {args.jobs}")
+    cache_desc = "disabled" if cache is None else str(cache.root)
+    print(f"# cache: {cache_desc}  salt: {SIMULATOR_VERSION_SALT}")
+    print()
+
     tracer = None
     if args.trace_out is not None:
         # Experiments build their Clusters (and Simulators) internally, so
@@ -172,17 +218,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         tracer = install_global_tracer()
     try:
-        for name in names:
-            start = time.time()
-            result = run_experiment(name, scale=scale, seed=args.seed)
-            print(result.render())
-            print(f"[{name}: {time.time() - start:.1f}s wall]")
-            print()
+        with exec_options(options):
+            for name in names:
+                start = time.time()
+                result = run_experiment(name, scale=scale, seed=args.seed)
+                print(result.render())
+                print(f"[{name}: {time.time() - start:.1f}s wall]")
+                print()
     finally:
         if tracer is not None:
             uninstall_global_tracer()
             count = tracer.dump_jsonl(str(args.trace_out))
             print(f"wrote {count} trace records to {args.trace_out}")
+    if cache is not None:
+        print(f"# cache: {cache.stats_line()}")
     return 0
 
 

@@ -118,6 +118,8 @@ class DaosClient:
         self.net = system.cluster.net
         self.fabric = system.cluster.fabric
         self.provider = system.cluster.provider
+        #: Hoisted out of :meth:`_latency` (two RPCs' worth per op).
+        self._message_latency = self.provider.message_latency
         self.config = system.config
         self._container_cache: Dict[Tuple[str, str], Container] = {}
         #: Op counters, useful to assert on op mixes in tests.
@@ -155,7 +157,7 @@ class DaosClient:
 
     def _latency(self):
         """One-way small-message latency."""
-        return self.sim.timeout(self.provider.message_latency)
+        return self.sim.timeout(self._message_latency)
 
     def _target_service(self, target_index: int, service_time: float):
         """Occupy a slot at a target for ``service_time``.
@@ -241,6 +243,11 @@ class DaosClient:
 
     def _key_target(self, kv: KeyValueObject, key: bytes) -> int:
         """The dkey target a *read* is routed to (degraded-aware)."""
+        layout = kv.layout
+        if kv.oclass.replicas == 1:
+            # Common case (every non-replicated class): one candidate, no
+            # list to build — same target the general path would select.
+            return layout[self._dkey_prefix(key) % len(layout)]
         candidates = self._key_candidates(kv, key)
         if self._health and len(candidates) > 1:
             up = [t for t in candidates if t not in self._map_view.unavailable]
@@ -456,7 +463,7 @@ class DaosClient:
             body=lambda: self._do_kv_put(kv, key, value),
             target=self._key_target(kv, key),
             nbytes=len(value),
-            detail=repr(key),
+            detail=key,
         )
 
     def kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
@@ -508,7 +515,7 @@ class DaosClient:
             op="kv_get",
             body=lambda: self._do_kv_get_or_none(kv, key),
             target=self._key_target(kv, key),
-            detail=repr(key),
+            detail=key,
         )
 
     def kv_get_or_none(self, kv: KeyValueObject, key: bytes):
@@ -568,7 +575,7 @@ class DaosClient:
                     op="kv_remove",
                     body=lambda: self._do_kv_remove(kv, key),
                     target=self._key_target(kv, key),
-                    detail=repr(key),
+                    detail=key,
                 )
             )
         )

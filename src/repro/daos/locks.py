@@ -36,6 +36,8 @@ class RWLock:
         lock.release_write()
     """
 
+    __slots__ = ("sim", "name", "_readers", "_writer", "_queue", "_rname", "_wname")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
@@ -43,6 +45,9 @@ class RWLock:
         self._writer = False
         #: Queue of (is_writer, event) in arrival order.
         self._queue: Deque[Tuple[bool, Event]] = deque()
+        # Acquires run per KV/array op; the event names are built once.
+        self._rname = f"{name}:rlock"
+        self._wname = f"{name}:wlock"
 
     @property
     def readers(self) -> int:
@@ -58,7 +63,7 @@ class RWLock:
 
     def acquire_read(self) -> Event:
         """Event that triggers once shared (read) access is granted."""
-        event = Event(self.sim, name=f"{self.name}:rlock")
+        event = Event(self.sim, name=self._rname)
         if not self._writer and not self._queue:
             self._readers += 1
             event.succeed(self)
@@ -68,7 +73,7 @@ class RWLock:
 
     def acquire_write(self) -> Event:
         """Event that triggers once exclusive (write) access is granted."""
-        event = Event(self.sim, name=f"{self.name}:wlock")
+        event = Event(self.sim, name=self._wname)
         if not self._writer and self._readers == 0 and not self._queue:
             self._writer = True
             event.succeed(self)

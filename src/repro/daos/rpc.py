@@ -66,7 +66,7 @@ __all__ = [
 DATA_OPS = frozenset({"array_write", "array_read"})
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One client RPC: op kind, routing hints, and a re-invocable body.
 
@@ -82,8 +82,10 @@ class Request:
     target: Optional[int] = None
     #: Payload bytes moved by the op (0 for pure metadata RPCs).
     nbytes: int = 0
-    #: Free-form detail for traces (e.g. a key repr or container label).
-    detail: str = ""
+    #: Free-form detail for traces (e.g. a dkey or container label).  Any
+    #: object is accepted and stringified only when rendered — hot paths
+    #: pass the raw key instead of paying for a repr per request.
+    detail: object = ""
 
     @property
     def is_data(self) -> bool:
@@ -95,7 +97,7 @@ class Request:
         return "data" if self.is_data else "metadata"
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """Outcome of one asynchronous submission reaped from an event queue."""
 
@@ -121,7 +123,7 @@ class Completion:
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class OpStats:
     """Latency/count accumulator for one op kind."""
 
@@ -159,6 +161,33 @@ class OpStats:
         self.max_time = max(self.max_time, other.max_time)
         self.total_bytes += other.total_bytes
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe snapshot (``min_time`` of ``inf`` round-trips fine —
+        Python's json module emits and parses ``Infinity``)."""
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "retries": self.retries,
+            "faults_injected": self.faults_injected,
+            "total_time": self.total_time,
+            "min_time": self.min_time,
+            "max_time": self.max_time,
+            "total_bytes": self.total_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "OpStats":
+        return cls(
+            count=int(data["count"]),
+            errors=int(data["errors"]),
+            retries=int(data["retries"]),
+            faults_injected=int(data["faults_injected"]),
+            total_time=data["total_time"],
+            min_time=data["min_time"],
+            max_time=data["max_time"],
+            total_bytes=int(data["total_bytes"]),
+        )
+
 
 def merge_op_stats(stats_dicts: Iterable[Dict[str, OpStats]]) -> Dict[str, OpStats]:
     """Merge per-client ``op_metrics`` dicts into one aggregate view."""
@@ -178,11 +207,23 @@ class Middleware:
     ``handle`` is a generator driven inside a simulation process; ``call``
     invokes the rest of the chain (terminating at ``request.body()``) and
     may be invoked more than once (retries).
+
+    ``bind`` is the composition hook: it folds this middleware over the
+    next handler and returns the callable the chain invokes per request.
+    Middlewares that can decide *per call* that they have nothing to do
+    (e.g. tracing while no tracer is installed) override it to return the
+    inner generator directly, adding zero frames to the hot path.
     """
 
     def handle(self, client: "DaosClient", request: Request, call):
         result = yield from call(client, request)
         return result
+
+    def bind(self, nxt) -> Callable[["DaosClient", Request], Generator]:
+        def handler(client: "DaosClient", request: Request) -> Generator:
+            return self.handle(client, request, nxt)
+
+        return handler
 
 
 class MetricsMiddleware(Middleware):
@@ -212,9 +253,20 @@ class MetricsMiddleware(Middleware):
 class TracingMiddleware(Middleware):
     """Emits one ``rpc`` span per attempt into the simulator's tracer.
 
-    Free when tracing is disabled: the only cost is a ``tracer is None``
-    check before delegating straight to the rest of the chain.
+    Free when tracing is disabled: ``bind`` checks ``tracer is None`` per
+    call and delegates straight to the rest of the chain without inserting
+    a generator frame of its own.
     """
+
+    def bind(self, nxt) -> Callable[["DaosClient", Request], Generator]:
+        handle = self.handle
+
+        def handler(client: "DaosClient", request: Request) -> Generator:
+            if client.sim.tracer is None:
+                return nxt(client, request)
+            return handle(client, request, nxt)
+
+        return handler
 
     def handle(self, client: "DaosClient", request: Request, call):
         sim = client.sim
@@ -377,12 +429,5 @@ def compose_chain(
 
     handler = terminal
     for middleware in reversed(middlewares):
-        handler = _bind(middleware, handler)
-    return handler
-
-
-def _bind(middleware: Middleware, nxt) -> Callable[["DaosClient", Request], Generator]:
-    def handler(client: "DaosClient", request: Request) -> Generator:
-        return middleware.handle(client, request, nxt)
-
+        handler = middleware.bind(handler)
     return handler

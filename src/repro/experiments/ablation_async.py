@@ -18,16 +18,13 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.bench.fieldio_bench import (
-    Contention,
-    FieldIOBenchParams,
-    run_fieldio_pattern_a,
-)
+from repro.bench.fieldio_bench import Contention
 from repro.bench.report import format_rpc_breakdown
-from repro.bench.runner import mean, run_repetitions
-from repro.config import ClusterConfig
-from repro.daos.rpc import merge_op_stats
+from repro.bench.runner import mean
+from repro.daos.rpc import OpStats, merge_op_stats
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -42,6 +39,27 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
     else:
         server_counts, ppn, n_ops, repetitions = [1, 2], 4, 40, 1
 
+    grid = GridSpec("ablation_async")
+    for async_io in (False, True):
+        for servers in server_counts:
+            for rep in range(repetitions):
+                grid.add(
+                    fieldio_point,
+                    servers=servers,
+                    clients=2 * servers,
+                    ppn=ppn,
+                    mode=FieldIOMode.FULL.value,
+                    contention=Contention.HIGH.name,
+                    n_ops=n_ops,
+                    field_size=1 * MiB,
+                    startup_skew=0.1,
+                    pattern="A",
+                    seed=seed + rep,
+                    async_io=async_io,
+                    want_rpc_stats=True,
+                )
+    points = iter(run_grid(grid))
+
     result = ExperimentResult(experiment="ablation_async", title=TITLE)
     result.headers = ["servers", "blocking w GiB/s", "async w GiB/s", "gain %"]
     breakdowns = {}
@@ -50,29 +68,14 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         writes: List[float] = []
         reads: List[float] = []
         stats_dicts = []
-        for servers in server_counts:
-            config = ClusterConfig(
-                n_server_nodes=servers, n_client_nodes=2 * servers, seed=seed
+        for _servers in server_counts:
+            reps = [next(points) for _ in range(repetitions)]
+            writes.append(mean(p["write"] for p in reps))
+            reads.append(mean(p["read"] for p in reps))
+            stats_dicts.extend(
+                {op: OpStats.from_dict(d) for op, d in p["rpc_stats"].items()}
+                for p in reps
             )
-            params = FieldIOBenchParams(
-                mode=FieldIOMode.FULL,
-                contention=Contention.HIGH,
-                n_ops=n_ops,
-                field_size=1 * MiB,
-                processes_per_node=ppn,
-                startup_skew=0.1,
-                async_io=async_io,
-            )
-            results = run_repetitions(
-                config,
-                lambda cluster, system, pool: run_fieldio_pattern_a(
-                    cluster, system, pool, params
-                ),
-                repetitions=repetitions,
-            )
-            writes.append(mean(r.summary.write_global or 0.0 for r in results))
-            reads.append(mean(r.summary.read_global or 0.0 for r in results))
-            stats_dicts.extend(r.rpc_stats for r in results)
         result.series.append(Series(f"A write {label}", list(server_counts), writes))
         result.series.append(Series(f"A read {label}", list(server_counts), reads))
         breakdowns[label] = merge_op_stats(stats_dicts)

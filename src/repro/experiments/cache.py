@@ -1,0 +1,154 @@
+"""Persistent on-disk result cache for experiment work units.
+
+Every grid point an experiment driver runs is a pure function of its work
+unit: the unit function, its keyword arguments (which include the seed) and
+the simulator version.  That makes results content-addressable — the cache
+key is a SHA-256 fingerprint over a canonical encoding of exactly those
+three things, so a rerun after a crash, a flag tweak or in CI skips every
+already-computed point.
+
+Layout on disk (two-level fan-out keeps directories small at paper scale)::
+
+    <cache-dir>/<fp[:2]>/<fp>.json
+
+Each entry records the salt and unit identity alongside the result for
+debuggability; correctness does not depend on them (both are already folded
+into the fingerprint).  A corrupted or truncated entry is treated as a miss
+and recomputed — the cache can never make a run fail.
+
+**Version salt.**  :data:`SIMULATOR_VERSION_SALT` must be bumped in the same
+commit as any kernel change that alters simulated results (the golden-digest
+tests in ``tests/bench/test_determinism.py`` tell you when that happens).
+Optimisations that keep digests bit-identical do *not* need a bump.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "SIMULATOR_VERSION_SALT",
+    "canonical",
+    "unit_fingerprint",
+    "ResultCache",
+    "open_cache",
+]
+
+#: Bump whenever a kernel/model change alters simulated results.  The salt
+#: is folded into every fingerprint, so one bump invalidates every cached
+#: entry at once.  ``sim-v4`` corresponds to the golden digests of PR 3/4
+#: (``tests/bench/test_determinism.py``).
+SIMULATOR_VERSION_SALT = "sim-v4"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce a work-unit kwarg value to a canonical JSON-safe form.
+
+    Unit functions take JSON primitives by convention (enums and rich specs
+    are passed by *name* and resolved inside the unit), but enums, tuples
+    and frozen config dataclasses are handled too so a future unit can take
+    them directly without silently fingerprinting ``repr`` noise.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return ["bytes", value.hex()]
+    if isinstance(value, Enum):
+        return ["enum", f"{type(value).__module__}:{type(value).__qualname__}", value.name]
+    if is_dataclass(value) and not isinstance(value, type):
+        kind = f"{type(value).__module__}:{type(value).__qualname__}"
+        return ["dataclass", kind,
+                {f.name: canonical(getattr(value, f.name)) for f in fields(value)}]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    raise TypeError(
+        f"work-unit kwarg of type {type(value).__name__!r} is not fingerprintable; "
+        "pass it by name (e.g. an object-class or provider name) instead"
+    )
+
+
+def unit_fingerprint(fn: Callable, kwargs: Dict[str, Any], salt: str) -> str:
+    """SHA-256 over (unit function identity, canonical kwargs, version salt)."""
+    payload = {
+        "fn": f"{fn.__module__}:{fn.__qualname__}",
+        "kwargs": canonical(kwargs),
+        "salt": salt,
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+_MISS = object()
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed persistent store of work-unit results.
+
+    Counters accumulate across lookups/stores so callers (the CLI, the CI
+    cache check) can report how much of a run was served from cache.
+    """
+
+    root: Path
+    salt: str = SIMULATOR_VERSION_SALT
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def fingerprint(self, fn: Callable, kwargs: Dict[str, Any]) -> str:
+        return unit_fingerprint(fn, kwargs, self.salt)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def lookup(self, fingerprint: str) -> Tuple[bool, Any]:
+        """``(hit, result)`` for a fingerprint; any read problem is a miss."""
+        try:
+            raw = self._path(fingerprint).read_text()
+            entry = json.loads(raw)
+            result = entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, result
+
+    def store(self, fingerprint: str, fn: Callable, result: Any) -> None:
+        """Persist a result atomically (write to a temp file, then rename).
+
+        The rename makes concurrent writers of the same fingerprint safe:
+        both write identical content, last rename wins, readers never see a
+        partial file.
+        """
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "salt": self.salt,
+            "fn": f"{fn.__module__}:{fn.__qualname__}",
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry))
+        os.replace(tmp, path)
+        self.stored += 1
+
+    def stats_line(self) -> str:
+        return f"hits={self.hits} misses={self.misses} stored={self.stored}"
+
+
+def open_cache(root: Optional[Path]) -> Optional[ResultCache]:
+    """A :class:`ResultCache` at ``root``, or ``None`` to disable caching."""
+    if root is None:
+        return None
+    return ResultCache(Path(root))

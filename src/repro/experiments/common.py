@@ -1,4 +1,4 @@
-"""Shared experiment machinery: scales, results, rendering.
+"""Shared experiment machinery: scales, results, rendering, grid execution.
 
 Experiments run at two scales:
 
@@ -10,6 +10,12 @@ Experiments run at two scales:
 
 An :class:`ExperimentResult` carries both tabular rows and figure series so
 the CLI can print it and tests/benches can assert on the shapes.
+
+Drivers enumerate their sweeps as a :class:`GridSpec` of picklable work
+units and reduce the list :func:`run_grid` returns — re-exported here from
+:mod:`repro.experiments.runner` so a driver's imports stay in one place.
+Execution policy (``--jobs``, the persistent result cache, progress) is
+ambient, installed by the CLI; drivers never see it.
 """
 
 from __future__ import annotations
@@ -18,9 +24,17 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.bench.report import format_series, format_table
+from repro.experiments.runner import ExecOptions, GridSpec, run_grid
 from repro.units import GiB
 
-__all__ = ["Scale", "Series", "ExperimentResult"]
+__all__ = [
+    "Scale",
+    "Series",
+    "ExperimentResult",
+    "ExecOptions",
+    "GridSpec",
+    "run_grid",
+]
 
 
 @dataclass(frozen=True)

@@ -8,44 +8,19 @@ write, ~3.75 GiB/s read per engine, with a slight droop above 8 servers).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from repro.bench.ior import IorParams, run_ior
-from repro.bench.runner import mean, run_repetitions
-from repro.config import ClusterConfig
+from repro.bench.runner import mean
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import ior_point
 from repro.units import MiB
 
 __all__ = ["run"]
 
 TITLE = "IOR segments: synchronous bandwidth vs server nodes (pattern A)"
 
-
-def _mean_best_ppn(
-    servers: int, clients: int, ppns: List[int], repetitions: int,
-    segments: int, seed: int,
-) -> Tuple[float, float]:
-    """Mean bandwidth across repetitions at the best-performing ppn (§6.2)."""
-    best: Dict[str, float] = {"write": 0.0, "read": 0.0}
-    for ppn in ppns:
-        config = ClusterConfig(
-            n_server_nodes=servers, n_client_nodes=clients, seed=seed
-        )
-        params = IorParams(
-            segment_size=1 * MiB, segments=segments, processes_per_node=ppn
-        )
-        results = run_repetitions(
-            config,
-            lambda cluster, system, pool: run_ior(cluster, system, pool, params),
-            repetitions=repetitions,
-        )
-        write = mean(r.summary.write_sync for r in results)
-        read = mean(r.summary.read_sync for r in results)
-        # "Best performing number of client processes" judged per direction,
-        # as the paper's per-panel selection does.
-        best["write"] = max(best["write"], write)
-        best["read"] = max(best["read"], read)
-    return best["write"], best["read"]
+_RATIOS = (("1x clients", 1), ("2x clients", 2))
 
 
 def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
@@ -56,19 +31,40 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         server_counts = [1, 2, 4]
         ppns, repetitions, segments = [8, 16], 2, 25
 
+    grid = GridSpec("fig3")
+    for _ratio_name, ratio in _RATIOS:
+        for servers in server_counts:
+            for ppn in ppns:
+                for rep in range(repetitions):
+                    grid.add(
+                        ior_point,
+                        servers=servers,
+                        clients=servers * ratio,
+                        ppn=ppn,
+                        segments=segments,
+                        segment_size=1 * MiB,
+                        seed=seed + rep,
+                    )
+    points = iter(run_grid(grid))
+
     result = ExperimentResult(
         experiment="fig3",
         title=TITLE,
     )
-    for ratio_name, ratio in (("1x clients", 1), ("2x clients", 2)):
+    for ratio_name, _ratio in _RATIOS:
         writes: List[float] = []
         reads: List[float] = []
-        for servers in server_counts:
-            write, read = _mean_best_ppn(
-                servers, servers * ratio, ppns, repetitions, segments, seed
-            )
-            writes.append(write)
-            reads.append(read)
+        for _servers in server_counts:
+            # Mean across repetitions at the best-performing ppn (§6.2);
+            # "best" is judged per direction, as the paper's per-panel
+            # selection does.
+            best: Dict[str, float] = {"write": 0.0, "read": 0.0}
+            for _ppn in ppns:
+                reps = [next(points) for _ in range(repetitions)]
+                best["write"] = max(best["write"], mean(p["write"] for p in reps))
+                best["read"] = max(best["read"], mean(p["read"] for p in reps))
+            writes.append(best["write"])
+            reads.append(best["read"])
         result.series.append(Series(f"write {ratio_name}", list(server_counts), writes))
         result.series.append(Series(f"read {ratio_name}", list(server_counts), reads))
     result.notes.append(

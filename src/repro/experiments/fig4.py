@@ -11,15 +11,11 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.bench.fieldio_bench import (
-    Contention,
-    FieldIOBenchParams,
-    run_fieldio_pattern_a,
-    run_fieldio_pattern_b,
-)
-from repro.bench.runner import mean, run_repetitions
-from repro.config import ClusterConfig
+from repro.bench.fieldio_bench import Contention
+from repro.bench.runner import mean
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -41,31 +37,35 @@ def run_sweep(
     startup_skew: float = 0.1,
 ) -> ExperimentResult:
     """Shared sweep used by Fig 4 (high contention) and Fig 5 (low)."""
+    grid = GridSpec(experiment)
+    for mode in FieldIOMode:
+        for pattern in patterns:
+            for servers in server_counts:
+                for rep in range(repetitions):
+                    grid.add(
+                        fieldio_point,
+                        servers=servers,
+                        clients=2 * servers,
+                        ppn=ppn,
+                        mode=mode.value,
+                        contention=contention.name,
+                        n_ops=n_ops,
+                        field_size=1 * MiB,
+                        startup_skew=startup_skew,
+                        pattern=pattern,
+                        seed=seed + rep,
+                    )
+    points = iter(run_grid(grid))
+
     result = ExperimentResult(experiment=experiment, title=title)
     for mode in FieldIOMode:
         for pattern in patterns:
-            runner = run_fieldio_pattern_a if pattern == "A" else run_fieldio_pattern_b
             writes: List[float] = []
             reads: List[float] = []
-            for servers in server_counts:
-                config = ClusterConfig(
-                    n_server_nodes=servers, n_client_nodes=2 * servers, seed=seed
-                )
-                params = FieldIOBenchParams(
-                    mode=mode,
-                    contention=contention,
-                    n_ops=n_ops,
-                    field_size=1 * MiB,
-                    processes_per_node=ppn,
-                    startup_skew=startup_skew,
-                )
-                results = run_repetitions(
-                    config,
-                    lambda cluster, system, pool: runner(cluster, system, pool, params),
-                    repetitions=repetitions,
-                )
-                writes.append(mean(r.summary.write_global or 0.0 for r in results))
-                reads.append(mean(r.summary.read_global or 0.0 for r in results))
+            for _servers in server_counts:
+                reps = [next(points) for _ in range(repetitions)]
+                writes.append(mean(p["write"] for p in reps))
+                reads.append(mean(p["read"] for p in reps))
             result.series.append(
                 Series(f"{pattern} write {mode.value}", list(server_counts), writes)
             )

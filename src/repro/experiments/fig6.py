@@ -11,15 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.bench.fieldio_bench import (
-    Contention,
-    FieldIOBenchParams,
-    run_fieldio_pattern_a,
-)
-from repro.bench.runner import mean, run_repetitions
-from repro.config import ClusterConfig
+from repro.bench.fieldio_bench import Contention
+from repro.bench.runner import mean
 from repro.daos.objclass import OC_S1, OC_S2, OC_SX, ObjectClass
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -43,41 +40,40 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         sizes_mib = [1, 5, 10, 20]
         client_nodes, ppns, n_ops, repetitions = 2, [1], 20, 1
 
+    grid = GridSpec("fig6")
+    for oclass in _CLASSES:
+        for size_mib in sizes_mib:
+            for ppn in ppns:
+                for rep in range(repetitions):
+                    grid.add(
+                        fieldio_point,
+                        servers=2,
+                        clients=client_nodes,
+                        ppn=ppn,
+                        mode=FieldIOMode.FULL.value,
+                        contention=Contention.HIGH.name,
+                        n_ops=n_ops,
+                        field_size=size_mib * MiB,
+                        startup_skew=0.0,
+                        pattern="A",
+                        seed=seed + rep,
+                        array_oclass=oclass.name,
+                        # KV striping follows the sweep too ("striping all
+                        # objects across all targets" is one of the settings).
+                        kv_oclass=(oclass if oclass is OC_SX else OC_SX).name,
+                    )
+    points = iter(run_grid(grid))
+
     result = ExperimentResult(experiment="fig6", title=TITLE)
     for oclass in _CLASSES:
         writes: List[float] = []
         reads: List[float] = []
-        for size_mib in sizes_mib:
+        for _size_mib in sizes_mib:
             best: Dict[str, float] = {"write": 0.0, "read": 0.0}
-            for ppn in ppns:
-                config = ClusterConfig(
-                    n_server_nodes=2, n_client_nodes=client_nodes, seed=seed
-                )
-                params = FieldIOBenchParams(
-                    mode=FieldIOMode.FULL,
-                    contention=Contention.HIGH,
-                    n_ops=n_ops,
-                    field_size=size_mib * MiB,
-                    processes_per_node=ppn,
-                    array_oclass=oclass,
-                    # KV striping follows the sweep too ("striping all
-                    # objects across all targets" is one of the settings).
-                    kv_oclass=oclass if oclass is OC_SX else OC_SX,
-                    startup_skew=0.0,
-                )
-                results = run_repetitions(
-                    config,
-                    lambda cluster, system, pool: run_fieldio_pattern_a(
-                        cluster, system, pool, params
-                    ),
-                    repetitions=repetitions,
-                )
-                best["write"] = max(
-                    best["write"], mean(r.summary.write_global or 0.0 for r in results)
-                )
-                best["read"] = max(
-                    best["read"], mean(r.summary.read_global or 0.0 for r in results)
-                )
+            for _ppn in ppns:
+                reps = [next(points) for _ in range(repetitions)]
+                best["write"] = max(best["write"], mean(p["write"] for p in reps))
+                best["read"] = max(best["read"], mean(p["read"] for p in reps))
             writes.append(best["write"])
             reads.append(best["read"])
         result.series.append(Series(f"write {oclass.name}", list(sizes_mib), writes))

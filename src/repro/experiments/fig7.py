@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.bench.ior import IorParams, run_ior
-from repro.bench.runner import mean, run_repetitions
-from repro.config import ClusterConfig, PSM2_PROVIDER, TCP_PROVIDER
+from repro.bench.runner import mean
+from repro.config import PSM2_PROVIDER, TCP_PROVIDER
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import ior_point
 from repro.units import MiB
 
 __all__ = ["run"]
@@ -29,34 +30,36 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         client_counts = [2, 4, 8]
         ppns, repetitions, segments = [4, 8], 1, 25
 
+    grid = GridSpec("fig7")
+    for provider in (TCP_PROVIDER, PSM2_PROVIDER):
+        for clients in client_counts:
+            for ppn in ppns:
+                for rep in range(repetitions):
+                    grid.add(
+                        ior_point,
+                        servers=4,
+                        clients=clients,
+                        ppn=ppn,
+                        segments=segments,
+                        segment_size=1 * MiB,
+                        seed=seed + rep,
+                        engines_per_server=1,
+                        client_sockets=1,
+                        provider=provider.name,
+                    )
+    points = iter(run_grid(grid))
+
     result = ExperimentResult(experiment="fig7", title=TITLE)
     for provider in (TCP_PROVIDER, PSM2_PROVIDER):
         writes: List[float] = []
         reads: List[float] = []
-        for clients in client_counts:
+        for _clients in client_counts:
             best_write = 0.0
             best_read = 0.0
-            for ppn in ppns:
-                config = ClusterConfig(
-                    n_server_nodes=4,
-                    n_client_nodes=clients,
-                    engines_per_server=1,
-                    client_sockets=1,
-                    provider=provider,
-                    seed=seed,
-                )
-                params = IorParams(
-                    segment_size=1 * MiB, segments=segments, processes_per_node=ppn
-                )
-                results = run_repetitions(
-                    config,
-                    lambda cluster, system, pool: run_ior(cluster, system, pool, params),
-                    repetitions=repetitions,
-                )
-                best_write = max(
-                    best_write, mean(r.summary.write_sync for r in results)
-                )
-                best_read = max(best_read, mean(r.summary.read_sync for r in results))
+            for _ppn in ppns:
+                reps = [next(points) for _ in range(repetitions)]
+                best_write = max(best_write, mean(p["write"] for p in reps))
+                best_read = max(best_read, mean(p["read"] for p in reps))
             writes.append(best_write)
             reads.append(best_read)
         result.series.append(

@@ -22,23 +22,29 @@ breakdown of the failure rounds, including pool-map refresh retries.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.bench.report import format_rpc_breakdown
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, DaosServiceConfig, HealthConfig
 from repro.daos.client import DaosClient
 from repro.daos.health import seeded_failure_schedule
-from repro.daos.objclass import OC_RP_2G1, OC_RP_3G1, ObjectClass
-from repro.daos.rpc import merge_op_stats
+from repro.daos.objclass import (
+    OC_RP_2G1,
+    OC_RP_3G1,
+    ObjectClass,
+    object_class_by_name,
+)
+from repro.daos.rpc import OpStats, merge_op_stats
 from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.runner import GridSpec, run_grid
 from repro.fdb.fieldio import FieldIO
 from repro.fdb.modes import FieldIOMode
 from repro.units import GiB, KiB, MiB
 from repro.workloads.fields import field_payload
 from repro.workloads.generator import pattern_a_keys
 
-__all__ = ["run"]
+__all__ = ["run", "rebuild_round"]
 
 TITLE = "Self-healing: degraded reads and bandwidth under rebuild vs object class"
 
@@ -113,6 +119,60 @@ def _round(config: ClusterConfig, oclass: ObjectClass, n_ops: int,
     return read
 
 
+def rebuild_round(
+    *,
+    servers: int,
+    clients: int,
+    seed: int,
+    oclass: str,
+    n_ops: int,
+    field_size: int,
+    ppn: int,
+    fail_at: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Grid unit: one round, JSON-safe projection.
+
+    ``fail_at is None`` runs the healthy baseline; a float arms a seeded
+    single-engine failure pinned to that simulation time (the caller derives
+    it from the healthy round's read duration).
+    """
+    if fail_at is None:
+        config = ClusterConfig(
+            n_server_nodes=servers, n_client_nodes=clients, seed=seed
+        )
+    else:
+        n_engines = ClusterConfig(
+            n_server_nodes=servers, n_client_nodes=clients, seed=seed
+        ).total_engines
+        events = seeded_failure_schedule(
+            seed, n_engines=n_engines, n_failures=1, window=(fail_at, fail_at)
+        )
+        config = ClusterConfig(
+            n_server_nodes=servers,
+            n_client_nodes=clients,
+            seed=seed,
+            daos=DaosServiceConfig(
+                health=HealthConfig(enabled=True, events=events, arm_at_start=False)
+            ),
+        )
+    round_ = _round(
+        config, object_class_by_name(oclass), n_ops, field_size, ppn,
+        arm=fail_at is not None,
+    )
+    return {
+        "duration": round_["duration"],
+        "bandwidth": round_["bandwidth"],
+        "rebuild_runs": [
+            {"duration": r.duration, "bytes_moved": r.bytes_moved}
+            for r in round_["rebuild_runs"]
+        ],
+        "map_refreshes": round_["map_refreshes"],
+        "rpc_stats": {
+            op: stats.as_dict() for op, stats in round_["rpc_stats"].items()
+        },
+    }
+
+
 def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
     if scale.is_paper:
         servers, clients, ppn, n_ops, field_size = 2, 4, 8, 60, 1 * MiB
@@ -129,37 +189,36 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         "moved MiB",
         "map refreshes",
     ]
+    # Two-stage grid: the failure time of each degraded round is derived
+    # from its healthy round's (deterministic) read duration, so the
+    # healthy stage must complete before the degraded stage is enumerable.
+    common = dict(
+        servers=servers, clients=clients, seed=seed,
+        n_ops=n_ops, field_size=field_size, ppn=ppn,
+    )
+    healthy_grid = GridSpec("rebuild:healthy")
+    for oclass in CLASSES:
+        healthy_grid.add(rebuild_round, oclass=oclass.name, **common)
+    healthy_points = run_grid(healthy_grid)
+
+    degraded_grid = GridSpec("rebuild:degraded")
+    for oclass, healthy in zip(CLASSES, healthy_points):
+        # Seed the failure to land a quarter of the way into the read phase.
+        degraded_grid.add(
+            rebuild_round, oclass=oclass.name,
+            fail_at=0.25 * healthy["duration"], **common,
+        )
+    degraded_points = run_grid(degraded_grid)
+
     healthy_bws: List[float] = []
     degraded_bws: List[float] = []
-    for oclass in CLASSES:
-        base_config = ClusterConfig(
-            n_server_nodes=servers, n_client_nodes=clients, seed=seed
-        )
-        healthy = _round(base_config, oclass, n_ops, field_size, ppn, arm=False)
-
-        # Seed the failure to land a quarter of the way into the read phase
-        # (the healthy round's duration is deterministic, so this is too).
-        fail_at = 0.25 * healthy["duration"]
-        events = seeded_failure_schedule(
-            seed, n_engines=base_config.total_engines, n_failures=1,
-            window=(fail_at, fail_at),
-        )
-        fail_config = ClusterConfig(
-            n_server_nodes=servers,
-            n_client_nodes=clients,
-            seed=seed,
-            daos=DaosServiceConfig(
-                health=HealthConfig(enabled=True, events=events, arm_at_start=False)
-            ),
-        )
-        degraded = _round(fail_config, oclass, n_ops, field_size, ppn, arm=True)
-
+    for oclass, healthy, degraded in zip(CLASSES, healthy_points, degraded_points):
         healthy_bws.append(healthy["bandwidth"])
         degraded_bws.append(degraded["bandwidth"])
         loss = (1.0 - degraded["bandwidth"] / healthy["bandwidth"]) * 100.0
         rebuild_runs = degraded["rebuild_runs"]
-        rebuild_ms = sum((r.duration or 0.0) for r in rebuild_runs) * 1e3
-        moved = sum(r.bytes_moved for r in rebuild_runs) / MiB
+        rebuild_ms = sum((r["duration"] or 0.0) for r in rebuild_runs) * 1e3
+        moved = sum(r["bytes_moved"] for r in rebuild_runs) / MiB
         result.rows.append(
             [
                 oclass.name,
@@ -173,7 +232,9 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         )
         result.notes.append(
             f"RPC breakdown ({oclass.name} reads under rebuild):\n"
-            + format_rpc_breakdown(degraded["rpc_stats"])
+            + format_rpc_breakdown(
+                {op: OpStats.from_dict(d) for op, d in degraded["rpc_stats"].items()}
+            )
         )
     names = [oclass.name for oclass in CLASSES]
     result.series.append(Series("read healthy", names, healthy_bws))

@@ -7,9 +7,10 @@ paper's MPI grounding test does (§6.2).
 
 from __future__ import annotations
 
-from repro.bench.mpi_p2p import sweep_transfer_sizes
-from repro.config import ClusterConfig, PSM2_PROVIDER, TCP_PROVIDER
+from repro.config import PSM2_PROVIDER, TCP_PROVIDER
 from repro.experiments.common import ExperimentResult, Scale
+from repro.experiments.runner import GridSpec, run_grid
+from repro.experiments.units import mpi_point
 from repro.units import GiB, MiB
 
 __all__ = ["run"]
@@ -43,21 +44,26 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
             "optimal transfer size (MiB)", "bandwidth (GiB/s)", "paper (GiB/s)",
         ],
     )
-    for provider, pairs, paper_value in _ROWS:
-        config = ClusterConfig(
-            n_server_nodes=1, n_client_nodes=2, provider=provider,
-            client_sockets=1, seed=seed,
+    grid = GridSpec("table2")
+    for provider, pairs, _paper_value in _ROWS:
+        grid.add(
+            mpi_point,
+            provider=provider.name,
+            pairs=pairs,
+            sizes=list(sizes),
+            messages=messages,
+            seed=seed,
         )
-        best_size, best_bw, _ = sweep_transfer_sizes(
-            config, pairs, sizes=sizes, messages=messages
-        )
+    points = run_grid(grid)
+
+    for (provider, pairs, paper_value), point in zip(_ROWS, points):
         result.rows.append(
             [
                 provider.name.upper(),
                 pairs,
                 "No",
-                best_size // MiB,
-                f"{best_bw / GiB:.1f}",
+                point["best_size"] // MiB,
+                f"{point['best_bw'] / GiB:.1f}",
                 f"{paper_value:.1f}",
             ]
         )

@@ -472,7 +472,11 @@ class FlowNetwork:
                 if flow._bound <= threshold:
                     flow.rate = minimum
                     for link in flow.path:
-                        link._cap_left = max(link._cap_left - minimum, 0.0)
+                        # Inlined max(left, 0.0) — this line runs once per
+                        # (flow, link) per round and the builtin call
+                        # dominated the barrier_burst profile.
+                        left = link._cap_left - minimum
+                        link._cap_left = left if left >= 0.0 else 0.0
                         link._n_unfixed -= 1
                 else:
                     still_unfixed.append(flow)

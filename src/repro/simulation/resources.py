@@ -33,6 +33,8 @@ class Resource:
     service, or a node's NIC DMA engines.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters", "_request_name")
+
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -41,6 +43,8 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        # Hot path: request() runs per RPC, so the event name is built once.
+        self._request_name = f"{name}:request"
 
     @property
     def in_use(self) -> int:
@@ -58,7 +62,7 @@ class Resource:
         The slot is held from the moment the event triggers until
         :meth:`release` is called with the same event.
         """
-        event = Event(self.sim, name=f"{self.name}:request")
+        event = Event(self.sim, name=self._request_name)
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             event.succeed(self)
@@ -104,6 +108,8 @@ class Resource:
 class Mutex(Resource):
     """A single-slot resource; convenience alias with lock/unlock naming."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         super().__init__(sim, capacity=1, name=name)
 
@@ -122,11 +128,14 @@ class Store:
     ``get`` returns an event that triggers with the next item.
     """
 
+    __slots__ = ("sim", "name", "_items", "_getters", "_get_name")
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
+        self._get_name = f"{name}:get"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -140,7 +149,7 @@ class Store:
 
     def get(self) -> Event:
         """Return an event triggering with the next item (FIFO)."""
-        event = Event(self.sim, name=f"{self.name}:get")
+        event = Event(self.sim, name=self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         else:

@@ -28,6 +28,7 @@ def test_quick_scenarios_run_and_digest_deterministically():
         "barrier_burst",
         "kv_storm",
         "fieldio_small",
+        "grid_fanout",
     }
     for entry in payload["scenarios"].values():
         assert entry["wall_s"] >= 0.0

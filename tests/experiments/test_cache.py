@@ -1,0 +1,137 @@
+"""Cache correctness: fingerprints, hit/miss accounting, invalidation,
+corrupted-entry tolerance."""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+
+import pytest
+
+from repro.config import TCP_PROVIDER
+from repro.experiments.cache import (
+    SIMULATOR_VERSION_SALT,
+    ResultCache,
+    canonical,
+    open_cache,
+    unit_fingerprint,
+)
+
+
+def unit_a(*, x: int, y: int = 0) -> int:
+    return x + y
+
+
+def unit_b(*, x: int, y: int = 0) -> int:
+    return x * y
+
+
+class _Colour(Enum):
+    RED = 1
+    BLUE = 2
+
+
+# -- fingerprints -------------------------------------------------------------------
+
+
+def test_fingerprint_is_stable():
+    fp1 = unit_fingerprint(unit_a, {"x": 1, "y": 2}, "s")
+    fp2 = unit_fingerprint(unit_a, {"y": 2, "x": 1}, "s")  # kwarg order irrelevant
+    assert fp1 == fp2
+    assert len(fp1) == 64
+
+
+def test_fingerprint_changes_with_any_config_field():
+    base = unit_fingerprint(unit_a, {"x": 1, "y": 2}, "s")
+    assert unit_fingerprint(unit_a, {"x": 1, "y": 3}, "s") != base
+    assert unit_fingerprint(unit_a, {"x": 2, "y": 2}, "s") != base
+    assert unit_fingerprint(unit_a, {"x": 1}, "s") != base
+
+
+def test_fingerprint_changes_with_function_and_salt():
+    base = unit_fingerprint(unit_a, {"x": 1}, "s")
+    assert unit_fingerprint(unit_b, {"x": 1}, "s") != base
+    assert unit_fingerprint(unit_a, {"x": 1}, "s2") != base
+
+
+def test_canonical_handles_rich_values():
+    assert canonical({"b": (1, 2), "a": None}) == {"b": [1, 2], "a": None}
+    assert canonical(b"\x01\x02") == ["bytes", "0102"]
+    kind, name = canonical(_Colour.RED)[1:]
+    assert "Colour" in kind and name == "RED"
+    tag, kind, fields = canonical(TCP_PROVIDER)
+    assert tag == "dataclass" and fields["name"] == "tcp"
+
+
+def test_canonical_rejects_unfingerprintable_values():
+    with pytest.raises(TypeError, match="pass it by name"):
+        canonical(object())
+
+
+# -- cache behaviour ----------------------------------------------------------------
+
+
+def test_hit_miss_accounting(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = cache.fingerprint(unit_a, {"x": 1, "y": 2})
+
+    hit, _ = cache.lookup(fp)
+    assert not hit and (cache.hits, cache.misses, cache.stored) == (0, 1, 0)
+
+    cache.store(fp, unit_a, 3)
+    hit, value = cache.lookup(fp)
+    assert hit and value == 3
+    assert (cache.hits, cache.misses, cache.stored) == (1, 1, 1)
+
+
+def test_persists_across_instances(tmp_path):
+    first = ResultCache(tmp_path)
+    fp = first.fingerprint(unit_a, {"x": 4})
+    first.store(fp, unit_a, {"write": 1.5, "inf": float("inf")})
+
+    second = ResultCache(tmp_path)
+    hit, value = second.lookup(second.fingerprint(unit_a, {"x": 4}))
+    assert hit
+    assert value["write"] == 1.5
+    # OpStats.min_time starts at +inf; JSON round-trips it.
+    assert value["inf"] == float("inf")
+
+
+def test_salt_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = cache.fingerprint(unit_a, {"x": 1})
+    cache.store(fp, unit_a, 1)
+
+    bumped = ResultCache(tmp_path, salt=SIMULATOR_VERSION_SALT + "-next")
+    hit, _ = bumped.lookup(bumped.fingerprint(unit_a, {"x": 1}))
+    assert not hit
+
+
+def test_corrupted_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = cache.fingerprint(unit_a, {"x": 1})
+    cache.store(fp, unit_a, 42)
+
+    path = cache._path(fp)
+    path.write_text("{truncated")
+    hit, _ = cache.lookup(fp)
+    assert not hit
+
+    # Entries missing the result field are a miss too, and a re-store heals.
+    path.write_text(json.dumps({"salt": cache.salt}))
+    hit, _ = cache.lookup(fp)
+    assert not hit
+    cache.store(fp, unit_a, 42)
+    hit, value = cache.lookup(fp)
+    assert hit and value == 42
+
+
+def test_layout_fanout(tmp_path):
+    cache = ResultCache(tmp_path)
+    fp = cache.fingerprint(unit_a, {"x": 9})
+    cache.store(fp, unit_a, 9)
+    assert (tmp_path / fp[:2] / f"{fp}.json").exists()
+
+
+def test_open_cache_none_disables():
+    assert open_cache(None) is None

@@ -1,0 +1,98 @@
+"""Grid runner: deterministic merge, cache integration, parallel identity.
+
+The golden test at the bottom is the merge-determinism contract from the
+issue: a CI-scale fig4 rendered serially and with ``--jobs 4`` must be
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import (
+    ExecOptions,
+    GridSpec,
+    current_options,
+    exec_options,
+    run_grid,
+)
+
+
+def square(*, x: int) -> dict:
+    return {"x": x, "sq": x * x}
+
+
+def boom(*, x: int) -> dict:
+    raise RuntimeError(f"unit {x} failed")
+
+
+def _grid(n: int = 6) -> GridSpec:
+    grid = GridSpec("test")
+    for x in range(n):
+        grid.add(square, x=x)
+    return grid
+
+
+def test_results_in_grid_order():
+    results = run_grid(_grid())
+    assert [r["x"] for r in results] == list(range(6))
+
+
+def test_parallel_matches_serial():
+    serial = run_grid(_grid(), ExecOptions(jobs=1))
+    for jobs in (2, 4):
+        assert run_grid(_grid(), ExecOptions(jobs=jobs)) == serial
+
+
+def test_worker_exception_propagates():
+    grid = GridSpec("test")
+    grid.add(boom, x=3)
+    with pytest.raises(RuntimeError, match="unit 3 failed"):
+        run_grid(grid, ExecOptions(jobs=2))
+
+
+def test_jobs_validated():
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        ExecOptions(jobs=0)
+
+
+def test_cache_serves_second_run(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = run_grid(_grid(), ExecOptions(cache=cache))
+    assert (cache.hits, cache.misses, cache.stored) == (0, 6, 6)
+
+    second = run_grid(_grid(), ExecOptions(cache=cache))
+    assert second == first
+    assert (cache.hits, cache.stored) == (6, 6)  # nothing recomputed
+
+
+def test_cache_partial_overlap(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_grid(_grid(4), ExecOptions(cache=cache))
+    results = run_grid(_grid(8), ExecOptions(cache=cache))
+    assert [r["x"] for r in results] == list(range(8))
+    assert cache.hits == 4 and cache.stored == 8
+
+
+def test_exec_options_ambient():
+    assert current_options().jobs == 1
+    opts = ExecOptions(jobs=3)
+    with exec_options(opts):
+        assert current_options() is opts
+        # run_grid with no explicit options picks up the ambient ones.
+        assert [r["x"] for r in run_grid(_grid(3))] == [0, 1, 2]
+    assert current_options().jobs == 1
+
+
+# -- golden: serial vs --jobs 4 -----------------------------------------------------
+
+
+def test_fig4_serial_and_parallel_reports_identical():
+    """CI-scale fig4 rendered serially and at -j4 must be byte-identical."""
+    from repro.experiments.registry import run_experiment
+
+    serial = run_experiment("fig4", scale="ci", seed=0).render()
+    with exec_options(ExecOptions(jobs=4)):
+        parallel = run_experiment("fig4", scale="ci", seed=0).render()
+    assert parallel == serial

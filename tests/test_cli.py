@@ -12,10 +12,13 @@ def test_list(capsys):
 
 
 def test_run_table2(capsys):
-    assert main(["run", "table2"]) == 0
+    assert main(["run", "table2", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "MPI test" in out
     assert "PSM2" in out
+    # Reproducibility header: settings the report was produced with.
+    assert "# scale: ci  seed: 0  jobs: 1" in out
+    assert "# cache: disabled" in out
 
 
 def test_run_unknown_experiment_rejected():
@@ -29,4 +32,39 @@ def test_requires_command():
 
 
 def test_seed_flag(capsys):
-    assert main(["run", "table2", "--seed", "3"]) == 0
+    assert main(["run", "table2", "--seed", "3", "--no-cache"]) == 0
+
+
+def test_jobs_validation(capsys):
+    assert main(["run", "table2", "--jobs", "0", "--no-cache"]) == 2
+
+
+def test_cache_round_trip(tmp_path, capsys):
+    """A warm rerun is served from cache and prints identical report bodies."""
+    args = ["run", "table2", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+
+    def body(text):
+        return [
+            line for line in text.splitlines()
+            if not line.startswith(("#", "["))
+        ]
+
+    assert body(warm) == body(cold)
+    assert "misses=0" in warm and "hits=6" in warm
+
+
+def test_parallel_jobs_match_serial(tmp_path, capsys):
+    assert main(["run", "table2", "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["run", "table2", "--no-cache", "-j", "2"]) == 0
+    parallel = capsys.readouterr().out
+
+    strip = lambda text: [  # noqa: E731
+        line for line in text.splitlines()
+        if not line.startswith(("#", "["))
+    ]
+    assert strip(parallel) == strip(serial)
