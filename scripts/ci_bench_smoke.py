@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI gate: quick kernel bench digests are frozen and the solver stays fast.
+
+Runs ``repro bench --quick`` in-process and checks, against the committed
+reference (``benchmarks/bench_quick_baseline.json``):
+
+1. every scenario's digest matches — a kernel change that moves any event
+   timestamp by one ulp fails here, which is the determinism contract every
+   solver optimisation must keep;
+2. the timed gate scenarios (``many_flow_contention``, ``flow_storm_5k`` —
+   the two that exercise the batched, vectorized max-min solver) have not
+   regressed by more than ``--slack`` (default 25%) against the reference
+   wall time, after scaling by a per-run calibration factor measured on the
+   untimed scenarios so a slower CI runner does not trip the gate.
+
+Wall times are min-of-``--repeat`` (default 3): the minimum is the only
+repeat statistic that converges on a noisy shared runner.
+
+Recalibrate after an intentional kernel change::
+
+    PYTHONPATH=src python scripts/ci_bench_smoke.py --update-reference
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.runner import run_kernel_benchmarks
+
+REFERENCE = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_quick_baseline.json"
+
+#: Scenarios whose wall time gates the solver's performance.
+GATED = ("many_flow_contention", "flow_storm_5k")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reference", type=Path, default=REFERENCE)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--slack", type=float, default=0.25,
+        help="allowed fractional wall regression on gated scenarios",
+    )
+    parser.add_argument(
+        "--update-reference", action="store_true",
+        help="rewrite the reference from this run instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_kernel_benchmarks(quick=True, repeats=args.repeat)
+    scenarios = payload["scenarios"]
+
+    if args.update_reference:
+        reference = {
+            "note": "quick-mode reference for scripts/ci_bench_smoke.py",
+            "repeats": args.repeat,
+            "scenarios": {
+                name: {"digest": entry["digest"], "wall_s": entry["wall_s"]}
+                for name, entry in scenarios.items()
+            },
+        }
+        args.reference.write_text(json.dumps(reference, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.reference}")
+        return 0
+
+    reference = json.loads(args.reference.read_text())["scenarios"]
+    failures = []
+
+    for name, entry in sorted(scenarios.items()):
+        want = reference.get(name)
+        if want is None:
+            failures.append(f"{name}: missing from reference (recalibrate?)")
+            continue
+        if entry["digest"] != want["digest"]:
+            failures.append(
+                f"{name}: digest drift {want['digest'][:12]} -> {entry['digest'][:12]}"
+            )
+    for name in reference:
+        if name not in scenarios:
+            failures.append(f"{name}: in reference but not produced by this run")
+
+    # Per-run speed calibration: the untimed scenarios exercise the same
+    # interpreter and event kernel but not the solver under test, so their
+    # collective slowdown estimates how much slower this runner is than the
+    # machine that recorded the reference.
+    calibration_pool = [n for n in scenarios if n not in GATED and n in reference]
+    ratios = sorted(
+        scenarios[n]["wall_s"] / reference[n]["wall_s"]
+        for n in calibration_pool
+        if reference[n]["wall_s"] > 0
+    )
+    # Clamped at 1.0: calibration only ever *loosens* the budget (for a
+    # slower runner), never tightens it below the recorded reference —
+    # otherwise ordinary run-to-run variance in the pool flakes the gate.
+    machine = max(1.0, ratios[len(ratios) // 2]) if ratios else 1.0
+    print(f"machine calibration factor: {machine:.2f}x the reference box")
+
+    for name in GATED:
+        if name not in scenarios or name not in reference:
+            continue
+        wall = scenarios[name]["wall_s"]
+        budget = reference[name]["wall_s"] * machine * (1.0 + args.slack)
+        verdict = "ok" if wall <= budget else "FAIL"
+        print(f"{name:24s} {wall:7.3f}s wall  budget {budget:7.3f}s  {verdict}")
+        if wall > budget:
+            failures.append(
+                f"{name}: wall {wall:.3f}s exceeds budget {budget:.3f}s "
+                f"(reference {reference[name]['wall_s']:.3f}s, "
+                f"calibration {machine:.2f}x, slack {args.slack:.0%})"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"ok: {len(scenarios)} quick scenarios digest-stable; solver within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

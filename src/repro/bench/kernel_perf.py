@@ -115,7 +115,12 @@ def _many_flow_contention(quick: bool) -> ScenarioResult:
         wall_s=wall,
         sim_time=sim.now,
         digest=digest,
-        extra={"n_flows": n_flows, "peak_concurrent_flows": peak[0]},
+        extra={
+            "n_flows": n_flows,
+            "peak_concurrent_flows": peak[0],
+            "solves": net.solver_runs,
+            "changes": net.flow_changes,
+        },
     )
 
 
@@ -162,7 +167,89 @@ def _barrier_burst(quick: bool) -> ScenarioResult:
         wall_s=wall,
         sim_time=sim.now,
         digest=digest,
-        extra={"waves": waves, "flows_per_wave": per_wave},
+        extra={
+            "waves": waves,
+            "flows_per_wave": per_wave,
+            "solves": net.solver_runs,
+            "changes": net.flow_changes,
+        },
+    )
+
+
+# -- scenario: synchronised flow storm ----------------------------------------------
+
+
+def _flow_storm_5k(quick: bool) -> ScenarioResult:
+    """Thousands of concurrent flows arriving in synchronised waves.
+
+    The IOR "segments" regime (synchronised access pattern A at far beyond
+    paper scale): every wave starts its whole flow population at one
+    simulated instant, most of the wave completes in two synchronised
+    batches (two size tiers over fully symmetric paths), and a staggered
+    tail of distinct sizes drains through per-instant solves over the still
+    ~full component.  Exercises both layers of the solver: same-instant
+    batching (``solves`` << ``changes``) and the vectorized per-component
+    water-filling pass (the tail re-solves a multi-thousand-flow scope).
+    """
+    waves, per_wave, tail = (2, 1200, 120) if quick else (3, 5000, 300)
+    sim = Simulator(seed=23)
+    net = FlowNetwork(sim)
+    clients = [net.add_link(f"client{i}.tx", 9.5 * GiB) for i in range(20)]
+    rails = [net.add_link(f"rail{i}", 37.5 * GiB) for i in range(4)]
+    engines = [net.add_link(f"engine{i}.rx", 2.6 * GiB) for i in range(10)]
+    media = [net.add_link(f"scm{i}", 5.5 * GiB) for i in range(10)]
+    end_times: List[float] = []
+    peak = [0]
+
+    def driver():
+        for wave in range(waves):
+            done = []
+            for i in range(per_wave):
+                path = [
+                    clients[i % 20],
+                    rails[i % 4],
+                    engines[i % 10],
+                    media[i % 10],
+                    media[i % 10],
+                ]
+                if i < per_wave - tail:
+                    # Two symmetric size tiers: each tier completes in one
+                    # synchronised batch (one solve serves the whole batch).
+                    size = 32 * MiB if i % 2 == 0 else 48 * MiB
+                else:
+                    # Staggered tail: distinct sizes, one solve per instant
+                    # over a still nearly-full component.
+                    size = 64 * MiB + i * (MiB // 32)
+                done.append(
+                    net.transfer(path, size, rate_cap=3.1 * GiB, name=f"s{wave}.{i}")
+                )
+            if net.active_flows > peak[0]:
+                peak[0] = net.active_flows
+            result = yield sim.all_of(done)
+            for event in result.events:
+                end_times.append(event.value.end_time)
+
+    process = sim.process(driver(), name="storm-driver")
+    start = time.perf_counter()
+    sim.run(until=process)
+    wall = time.perf_counter() - start
+
+    digest = _hexdigest(
+        [t.hex() for t in end_times]
+        + [float(net.completed_bytes).hex(), float(sim.now).hex()]
+    )
+    return ScenarioResult(
+        name="flow_storm_5k",
+        wall_s=wall,
+        sim_time=sim.now,
+        digest=digest,
+        extra={
+            "waves": waves,
+            "flows_per_wave": per_wave,
+            "peak_concurrent_flows": peak[0],
+            "solves": net.solver_runs,
+            "changes": net.flow_changes,
+        },
     )
 
 
@@ -316,6 +403,7 @@ def _grid_fanout(quick: bool) -> ScenarioResult:
 SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "many_flow_contention": _many_flow_contention,
     "barrier_burst": _barrier_burst,
+    "flow_storm_5k": _flow_storm_5k,
     "kv_storm": _kv_storm,
     "fieldio_small": _fieldio_small,
     "grid_fanout": _grid_fanout,

@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.daos.errors import InvalidArgumentError, ObjectNotFoundError
 from repro.daos.objclass import ObjectClass
 from repro.daos.oid import ObjectId
-from repro.daos.payload import BytesPayload, Payload
+from repro.daos.payload import BytesPayload, ConcatPayload, Payload
 
 __all__ = ["Extent", "ArrayObject"]
 
@@ -112,7 +112,9 @@ class ArrayObject:
             )
         if len(pieces) == 1:
             return pieces[0]
-        return BytesPayload(b"".join(p.to_bytes() for p in pieces))
+        # Lazy concatenation: a striped / multi-extent read stays O(1) in
+        # memory until a caller actually materialises the bytes.
+        return ConcatPayload(pieces)
 
     def truncate(self, size: int) -> None:
         """Discard all data at or beyond ``size`` (DAOS ``array_set_size``)."""

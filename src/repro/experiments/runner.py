@@ -106,6 +106,18 @@ def _invoke(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
     return fn(**kwargs)
 
 
+#: Target number of chunks handed to each pool worker.  A few chunks per
+#: worker keeps work-stealing effective when unit durations vary, while
+#: amortising the per-future submit/result overhead that made tiny grids
+#: slower parallel than serial.
+_CHUNKS_PER_WORKER = 4
+
+
+def _invoke_chunk(items: List[tuple]) -> List[Any]:
+    """Run a chunk of ``(fn, kwargs)`` units in one worker round-trip."""
+    return [fn(**kwargs) for fn, kwargs in items]
+
+
 class _Progress:
     """Single-line stderr progress with an ETA extrapolated from done units."""
 
@@ -188,23 +200,36 @@ def run_grid(
         label, len(units), cached=len(units) - len(pending), enabled=opts.progress
     )
     if opts.jobs > 1 and len(pending) > 1:
+        # Small units are chunked so one worker round-trip executes several
+        # of them: one future per unit made tiny grids slower parallel than
+        # serial on pure pool overhead.  Chunking cannot change the output —
+        # units are pure and every result is slotted back by unit index —
+        # and each unit is still cached individually.
+        workers = min(opts.jobs, len(pending))
+        chunk_size = max(1, len(pending) // (workers * _CHUNKS_PER_WORKER))
+        chunks = [
+            pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)
+        ]
         with ProcessPoolExecutor(
-            max_workers=min(opts.jobs, len(pending)), mp_context=_pool_context()
+            max_workers=workers, mp_context=_pool_context()
         ) as pool:
             futures = {
-                pool.submit(_invoke, unit.fn, unit.kwargs): (index, unit, fingerprint)
-                for index, unit, fingerprint in pending
+                pool.submit(
+                    _invoke_chunk, [(unit.fn, unit.kwargs) for _, unit, _ in chunk]
+                ): chunk
+                for chunk in chunks
             }
             outstanding = set(futures)
             while outstanding:
                 finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    index, unit, fingerprint = futures[future]
-                    value = future.result()  # re-raises worker exceptions
-                    results[index] = value
-                    if cache is not None:
-                        cache.store(fingerprint, unit.fn, value)
-                    progress.step()
+                    chunk = futures[future]
+                    values = future.result()  # re-raises worker exceptions
+                    for (index, unit, fingerprint), value in zip(chunk, values):
+                        results[index] = value
+                        if cache is not None:
+                            cache.store(fingerprint, unit.fn, value)
+                        progress.step()
     else:
         for index, unit, fingerprint in pending:
             value = unit.fn(**unit.kwargs)

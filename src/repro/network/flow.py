@@ -15,18 +15,31 @@ bytes.
 
 Performance notes (the kernel fast path, see ``repro bench``):
 
-* Recomputation is *incremental*: an arrival or departure only perturbs the
-  connected component of links/flows it touches, so rates outside that
-  component are left untouched.  Within a component the arithmetic is the
-  exact water-filling recurrence, evaluated in the same order as a full
-  pass restricted to that component — results are bit-identical to the
-  reference algorithm (see ``tests/network/test_flow_reference.py``).
-* Links carry their working aggregates (``_cap_left``, ``_n_unfixed``,
-  per-round fair share) in slots instead of per-recompute dicts, and each
-  round computes one division per link rather than one per (flow, link).
-* Upcoming completions live in a lazily-invalidated heap keyed by absolute
-  finish time: stale entries (flow finished or rate changed) are dropped on
-  pop, so finding the next completion is O(log n) instead of a scan.
+* **Same-instant batching.**  All flow-set changes at one simulated
+  timestamp — a synchronised wave of arrivals, a batch of completions, and
+  the replacement flows those completions trigger — are coalesced into one
+  dirty set, and the solver runs **once per instant** via the simulator's
+  end-of-instant flush hook (:meth:`Simulator.request_flush`).  The
+  zero-duration intermediate rate states a change-by-change solver would
+  produce are unobservable (no time passes between them), so completion
+  times are bit-identical while synchronised waves cost O(1) solves instead
+  of O(flows-per-wave).  ``solver_runs`` vs ``flow_changes`` measures this.
+* **Scoped recomputation.**  A batch of changes only perturbs the connected
+  component of links/flows it touches; rates outside that component are
+  left untouched.  Within a component the arithmetic is the exact
+  water-filling recurrence — results are bit-identical to the reference
+  algorithm (see ``tests/network/test_flow_reference.py``).
+* **Vectorized solving.**  Above ``_VEC_ON`` concurrent flows the network
+  migrates its hot state into a compact numpy arena: per-flow
+  remaining/rate/deadline arrays are kept dense by swap-deleting completed
+  flows, and each flow's path lives in one row of a fixed-stride incidence
+  matrix padded with a sentinel "link" whose fair share is pinned to +inf.
+  Progress debits, completion scans, component discovery, and the
+  water-filling rounds are then a handful of whole-array operations each —
+  no per-flow Python.  Every floating-point operation matches the scalar
+  path bit for bit (see ``tests/network/test_flow_vector.py``); the scalar
+  path remains available as an escape hatch via ``REPRO_SCALAR_SOLVER=1``
+  or ``FlowNetwork(sim, solver="scalar")``.
 
 Determinism is a hard constraint: identical seeds produce bit-identical
 timestamp logs, guarded by golden digests in
@@ -36,9 +49,11 @@ timestamp logs, guarded by golden digests in
 from __future__ import annotations
 
 import math
-from heapq import heapify, heappop, heappush
+import os
 from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.simulation.core import Simulator
 from repro.simulation.events import Event
@@ -51,6 +66,23 @@ __all__ = ["Link", "Flow", "FlowNetwork"]
 _EPSILON_BYTES = 1e-3
 
 _INF = math.inf
+
+#: Active-flow population at which the network migrates its hot state into
+#: the numpy arena (and back below ``_VEC_OFF``).  The wide hysteresis band
+#: keeps workloads that hover around the boundary from thrashing between
+#: representations.
+_VEC_ON = 96
+_VEC_OFF = 24
+
+#: Minimum scoped-component size for the vectorized water-filling pass;
+#: smaller perturbed components are cheaper in the scalar solver even while
+#: the arena is active.
+_VEC_SOLVE_MIN = 40
+
+
+def _env_forces_scalar() -> bool:
+    """True when ``REPRO_SCALAR_SOLVER`` requests the pure-Python kernel."""
+    return os.environ.get("REPRO_SCALAR_SOLVER", "") not in ("", "0")
 
 
 class Link:
@@ -71,20 +103,28 @@ class Link:
         "capacity",
         "capacity_fn",
         "flows",
-        # Water-filling working state, valid within one recompute (_epoch
-        # stamps which recompute initialised it).
+        "idx",
+        # Memoised capacity_fn evaluations (the provider curves are pure
+        # functions of the stream count, which repeats heavily).
+        "_fn_cache",
+        # Water-filling working state, valid within one scalar recompute
+        # (_epoch stamps which recompute initialised it).
         "_cap_left",
         "_n_unfixed",
         "_share",
         "_epoch",
     )
 
-    def __init__(self, name: str, capacity: float, capacity_fn=None) -> None:
+    def __init__(
+        self, name: str, capacity: float, capacity_fn=None, idx: int = -1
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"link capacity must be positive, got {capacity}")
         self.name = name
         self.capacity = float(capacity)
         self.capacity_fn = capacity_fn
+        self.idx = idx
+        self._fn_cache: Dict[int, float] = {}
         # Insertion-ordered mapping flow -> occurrences of this link in the
         # flow's path (write amplification).  Deterministic iteration keeps
         # rate computation and tie-breaking reproducible run to run.
@@ -100,7 +140,11 @@ class Link:
             n_flows = len(self.flows)
         if self.capacity_fn is None:
             return self.capacity
-        return min(self.capacity, float(self.capacity_fn(n_flows)))
+        cached = self._fn_cache.get(n_flows)
+        if cached is None:
+            cached = min(self.capacity, float(self.capacity_fn(n_flows)))
+            self._fn_cache[n_flows] = cached
+        return cached
 
     @property
     def utilisation(self) -> float:
@@ -123,6 +167,10 @@ class Flow:
 
     Attributes of interest once finished: ``start_time``, ``end_time`` and
     ``mean_rate`` (bytes/second averaged over the flow's lifetime).
+
+    While in flight, ``remaining``/``rate``/``deadline`` read through to
+    wherever the owning network keeps its hot state (plain attributes in
+    scalar mode, the numpy arena in vector mode).
     """
 
     __slots__ = (
@@ -130,15 +178,18 @@ class Flow:
         "name",
         "path",
         "size",
-        "remaining",
-        "rate",
         "rate_cap",
         "start_time",
         "end_time",
         "done",
-        # Projected absolute completion time; None while unknown/finished.
-        # Heap entries whose recorded deadline no longer matches are stale.
-        "deadline",
+        # Arena row while the vector arena holds this flow; -1 when the
+        # scalar attributes are authoritative.
+        "pos",
+        "_net",
+        # Scalar-mode hot state (authoritative while ``pos`` is -1).
+        "_rem",
+        "_rate",
+        "_dl",
         # Per-round water-filling bound (scratch, valid within one round).
         "_bound",
     )
@@ -156,14 +207,46 @@ class Flow:
         self.name = name
         self.path = path
         self.size = float(size)
-        self.remaining = float(size)
-        self.rate = 0.0
         self.rate_cap = float(rate_cap)
         self.start_time: float = math.nan
         self.end_time: Optional[float] = None
         self.done = done
-        self.deadline: Optional[float] = None
+        self.pos = -1
+        self._net: Optional["FlowNetwork"] = None
+        self._rem = float(size)
+        self._rate = 0.0
+        self._dl: Optional[float] = None
         self._bound = 0.0
+
+    @property
+    def remaining(self) -> float:
+        """Bytes left to move (as of the owning network's last advance)."""
+        if self.pos >= 0:
+            return float(self._net._rem_v[self.pos])
+        return self._rem
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate in bytes/second."""
+        if self.pos >= 0:
+            return float(self._net._rate_v[self.pos])
+        return self._rate
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Projected absolute completion time; None while unknown/finished.
+
+        In vector mode this is derived on demand from the arena (the owning
+        network does not materialise per-flow deadlines; only the earliest
+        one matters for its wake-up timer).
+        """
+        if self.pos >= 0:
+            net = self._net
+            rate = float(net._rate_v[self.pos])
+            if rate <= 0.0:
+                return None
+            return net._last_advance + float(net._rem_v[self.pos]) / rate
+        return self._dl
 
     @property
     def mean_rate(self) -> float:
@@ -189,48 +272,128 @@ class FlowNetwork:
     :meth:`add_link`; transfers are started with :meth:`transfer`, which
     returns an event that succeeds (with the finished :class:`Flow`) once
     the last byte has moved.
+
+    ``solver`` selects the water-filling implementation: ``"auto"``
+    (default) migrates to the vectorized arena above ``_VEC_ON`` concurrent
+    flows, ``"scalar"`` pins the pure-Python kernel (also forced by the
+    ``REPRO_SCALAR_SOLVER=1`` environment escape hatch), ``"vector"`` pins
+    the arena from the first flow (used by the equivalence tests).  All
+    modes are bit-identical.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, solver: str = "auto") -> None:
+        if solver not in ("auto", "scalar", "vector"):
+            raise ValueError(f"unknown solver mode {solver!r}")
+        if _env_forces_scalar():
+            solver = "scalar"
         self.sim = sim
+        self.solver = solver
         self.links: Dict[str, Link] = {}
+        self._link_list: List[Link] = []
+        self._fn_links: List[Link] = []
         self._active: Dict[Flow, None] = {}
         self._fid = count()
         self._last_advance: float = sim.now
-        #: Links whose flow set changed since the last recompute; their
-        #: connected component is what the next recompute rescopes to.
+        #: Links whose flow set changed since the last solve; their
+        #: connected component is what the next solve rescopes to.
         self._dirty: Dict[Link, None] = {}
-        #: Flows that arrived since the last recompute.  Usually redundant
+        #: Flows that arrived since the last solve.  Usually redundant
         #: with the dirty links, but a path-less (rate-cap-only) flow forms
         #: its own component and is only reachable through this seed set.
         self._dirty_flows: Dict[Flow, None] = {}
-        #: Min-heap of (deadline, fid, flow) candidate completions with lazy
-        #: invalidation (see Flow.deadline).
-        self._heap: List[Tuple[float, int, Flow]] = []
         #: The currently armed wake-up event; wake-ups from superseded
-        #: recomputes no longer match and are ignored.
+        #: solves no longer match and are ignored.
         self._wake_event: Optional[Event] = None
-        #: Monotonic stamp marking which recompute initialised a link's
+        #: Monotonic stamp marking which scalar solve initialised a link's
         #: water-filling working state.
         self._epoch = 0
-        #: Whether a same-instant recompute is already queued.  Bursts of
-        #: arrivals at one timestamp (every process leaving a barrier at
-        #: once) would otherwise trigger one max-min recomputation per
-        #: arrival — O(flows^2) work for nothing, since no time passes
-        #: between them.  Coalescing them into a single deferred recompute
-        #: keeps paper-scale runs (thousands of concurrent flows) tractable.
+        #: Whether this instant's solve is already queued with the
+        #: simulator's end-of-instant flush.  All flow-set changes at one
+        #: timestamp — however many generations of same-instant events they
+        #: span — fold into that single solve.
         self._recompute_pending = False
         #: Statistics: total completed flows and bytes moved.
         self.completed_flows = 0
         self.completed_bytes = 0.0
+        #: Instrumentation: water-filling solver invocations and flow-set
+        #: changes (arrivals + departures).  ``solver_runs`` well below
+        #: ``flow_changes`` is the same-instant batching at work.
+        self.solver_runs = 0
+        self.vector_solves = 0
+        self.flow_changes = 0
+        self.mode_switches = 0
+        # -- static link capacities (indexed by Link.idx) ------------------
+        self._cap_a = np.zeros(0)
+        # -- flow arena (compact; columns [0, _n_live) are the live flows) -
+        self._vector = False
+        self._n_live = 0
+        self._flows_pos: List[Optional[Flow]] = []
+        self._rem_v = np.zeros(0)
+        self._rate_v = np.zeros(0)
+        self._rcap_v = np.zeros(0)
+        #: Incidence matrix, transposed: column i holds flow i's path as
+        #: link indices, bottom-padded with the sentinel index ``_pad``
+        #: (== len(links)).  The sentinel behaves as a link of infinite
+        #: fair share, so padded columns need no masking anywhere.  The
+        #: (stride, flows) orientation keeps the solver's per-round
+        #: reductions running along the long contiguous axis.
+        self._occ_t = np.zeros((4, 0), dtype=np.int64)
+        self._stride = 4
+        self._pad = 0
+        #: Link-link co-traversal adjacency: ``_adjb[a, b]`` is True when
+        #: some live arena flow's path visits both links.  Every flow's
+        #: path forms a clique here, so connected components of this tiny
+        #: (#links x #links) graph match the flow-side components exactly —
+        #: scoping BFS runs on it instead of re-gathering every flow column
+        #: per round.  ``_pairs`` holds the per-pair flow counts (keyed by
+        #: the sorted index pair) so the bool matrix is touched only on
+        #: 0 <-> 1 transitions.
+        self._adjb = np.zeros((0, 0), dtype=bool)
+        self._pairs: Dict[Tuple[int, int], int] = {}
+        # -- solver scratch (reused across solves; sized on demand) -------
+        self._sc_flat_i = np.zeros(0, dtype=np.int64)  # (stride+1, n) indices
+        self._sc_flat_f = np.zeros(0)  # (stride+1, n) gathered shares
+        self._sc_share = np.zeros(0)  # per-link shares ++ per-flow caps
+        self._sc_capleft = np.zeros(0)
+        self._sc_div = np.zeros(0)
+        self._sc_seg = np.zeros(0, dtype=np.int64)
+        self._sc_off = np.zeros(0, dtype=np.int64)
+        self._sc_fold = np.zeros(0)
+        self._sc_folded = np.zeros(0)
+        self._sc_flow_f = np.zeros(0)  # per-flow float scratch (bounds, ...)
+        self._sc_flow_f2 = np.zeros(0)  # per-flow float scratch (rates, ...)
+        self._sc_flow_b = np.zeros(0, dtype=bool)  # per-flow bool scratch
+        self._sc_ar = np.zeros(0, dtype=np.int64)  # 0..n arange
 
     # -- topology ------------------------------------------------------------
     def add_link(self, name: str, capacity: float, capacity_fn=None) -> Link:
         """Create and register a link; names must be unique."""
         if name in self.links:
             raise ValueError(f"duplicate link name {name!r}")
-        link = Link(name, capacity, capacity_fn=capacity_fn)
+        idx = len(self._link_list)
+        link = Link(name, capacity, capacity_fn=capacity_fn, idx=idx)
         self.links[name] = link
+        self._link_list.append(link)
+        if idx >= self._cap_a.size:
+            grown = np.zeros(max(64, 2 * self._cap_a.size))
+            grown[: self._cap_a.size] = self._cap_a
+            self._cap_a = grown
+        self._cap_a[idx] = link.capacity
+        if idx >= self._adjb.shape[0]:
+            grown = max(64, 2 * self._adjb.shape[0])
+            adj = np.zeros((grown, grown), dtype=bool)
+            old = self._adjb.shape[0]
+            adj[:old, :old] = self._adjb
+            self._adjb = adj
+        if capacity_fn is not None:
+            self._fn_links.append(link)
+        if self._vector:
+            # The sentinel pad index must stay one past the largest real
+            # link index; re-point existing pad entries at the new sentinel
+            # (their old value is exactly this link's index).
+            live = self._occ_t[:, : self._n_live]
+            live[live == self._pad] = idx + 1
+        self._pad = idx + 1
         return link
 
     # -- transfers -----------------------------------------------------------
@@ -261,6 +424,8 @@ class FlowNetwork:
         if not flow.path and not math.isfinite(rate_cap):
             raise ValueError("a flow needs a non-empty path or a finite rate cap")
         self._advance_to_now()
+        self.flow_changes += 1
+        flow._net = self
         self._active[flow] = None
         self._dirty_flows[flow] = None
         dirty = self._dirty
@@ -276,65 +441,207 @@ class FlowNetwork:
         """Number of flows currently in flight."""
         return len(self._active)
 
+    # -- arena bookkeeping ---------------------------------------------------
+    def _ensure_capacity(self, n: int, pathlen: int) -> None:
+        if pathlen > self._stride:
+            # Grow to the exact path length: path lengths are small and
+            # few-valued, and every extra stride row is pure sentinel
+            # overhead in each solver round.
+            occ = np.full(
+                (pathlen, self._occ_t.shape[1]), self._pad, dtype=np.int64
+            )
+            occ[: self._stride] = self._occ_t
+            self._occ_t = occ
+            self._stride = pathlen
+        if n > self._rem_v.size:
+            grown = max(64, 2 * self._rem_v.size, n)
+            for attr in ("_rem_v", "_rate_v", "_rcap_v"):
+                old = getattr(self, attr)
+                new = np.zeros(grown)
+                new[: old.size] = old
+                setattr(self, attr, new)
+            occ = np.full((self._stride, grown), self._pad, dtype=np.int64)
+            occ[:, : self._occ_t.shape[1]] = self._occ_t
+            self._occ_t = occ
+            self._flows_pos.extend([None] * (grown - len(self._flows_pos)))
+
+    def _ingest(self, flow: Flow) -> None:
+        """Append a flow to the arena (column ``_n_live``)."""
+        pos = self._n_live
+        self._ensure_capacity(pos + 1, len(flow.path))
+        self._n_live = pos + 1
+        self._flows_pos[pos] = flow
+        flow.pos = pos
+        self._rem_v[pos] = flow._rem
+        self._rate_v[pos] = flow._rate
+        self._rcap_v[pos] = flow.rate_cap
+        column = self._occ_t[:, pos]
+        length = len(flow.path)
+        if length:
+            idxs = [link.idx for link in flow.path]
+            column[:length] = idxs
+            if length > 1:
+                pairs = self._pairs
+                adjb = self._adjb
+                for i in range(length - 1):
+                    a = idxs[i]
+                    for b in idxs[i + 1 :]:
+                        key = (a, b) if a <= b else (b, a)
+                        seen = pairs.get(key, 0)
+                        if not seen:
+                            adjb[a, b] = True
+                            adjb[b, a] = True
+                        pairs[key] = seen + 1
+        column[length:] = self._pad
+
+    def _evict(self, flow: Flow) -> None:
+        """Swap-delete a flow's arena column, keeping the arena compact."""
+        path = flow.path
+        if len(path) > 1:
+            pairs = self._pairs
+            adjb = self._adjb
+            idxs = [link.idx for link in path]
+            for i in range(len(idxs) - 1):
+                a = idxs[i]
+                for b in idxs[i + 1 :]:
+                    key = (a, b) if a <= b else (b, a)
+                    seen = pairs[key] - 1
+                    if seen:
+                        pairs[key] = seen
+                    else:
+                        del pairs[key]
+                        adjb[a, b] = False
+                        adjb[b, a] = False
+        pos = flow.pos
+        last = self._n_live - 1
+        if pos != last:
+            mover = self._flows_pos[last]
+            self._flows_pos[pos] = mover
+            mover.pos = pos
+            self._rem_v[pos] = self._rem_v[last]
+            self._rate_v[pos] = self._rate_v[last]
+            self._rcap_v[pos] = self._rcap_v[last]
+            self._occ_t[:, pos] = self._occ_t[:, last]
+        self._flows_pos[last] = None
+        self._n_live = last
+        flow.pos = -1
+
+    def _enter_vector(self) -> None:
+        self._n_live = 0
+        self._pad = len(self._link_list)
+        self._adjb[:] = False
+        self._pairs.clear()
+        for flow in self._active:
+            self._ingest(flow)
+        self._vector = True
+        self.mode_switches += 1
+
+    def _exit_vector(self) -> None:
+        rem, rate = self._rem_v, self._rate_v
+        last_advance = self._last_advance
+        flows_pos = self._flows_pos
+        for flow in self._active:
+            pos = flow.pos
+            flow._rem = float(rem[pos])
+            flow._rate = float(rate[pos])
+            # Same on-demand projection as Flow.deadline in vector mode.
+            flow._dl = (
+                last_advance + flow._rem / flow._rate
+                if flow._rate > 0.0
+                else None
+            )
+            flow.pos = -1
+            flows_pos[pos] = None
+        self._n_live = 0
+        self._vector = False
+        self.mode_switches += 1
+
+    def _manage_mode(self) -> None:
+        if self.solver == "scalar":
+            return
+        n = len(self._active)
+        if not self._vector:
+            if n >= _VEC_ON or (self.solver == "vector" and n > 0):
+                self._enter_vector()
+        elif n < _VEC_OFF and self.solver != "vector":
+            self._exit_vector()
+
     # -- internals -----------------------------------------------------------
     def _schedule_recompute(self) -> None:
-        """Queue a rate recomputation for this instant (coalesced)."""
+        """Queue this instant's solve with the end-of-instant flush."""
         if self._recompute_pending:
             return
         self._recompute_pending = True
-        event = self.sim.timeout(0.0, name="flownet:recompute")
-        event.add_callback(self._deferred_recompute)
+        self.sim.request_flush(self._flush_recompute)
 
-    def _deferred_recompute(self, _event: Event) -> None:
+    def _flush_recompute(self) -> None:
+        """Solve the instant's coalesced dirty set and re-arm the wake-up."""
         self._recompute_pending = False
-        self._advance_to_now()  # no-op: zero time has passed
-        self._recompute_and_reschedule()
+        self._advance_to_now()  # no-op: the instant's first change advanced
+        self._manage_mode()
+        dirty = self._dirty
+        dirty_flows = self._dirty_flows
+        if dirty or dirty_flows:
+            self._dirty = {}
+            self._dirty_flows = {}
+            if self._vector:
+                active = self._active
+                for flow in dirty_flows:
+                    if flow.pos < 0 and flow in active:
+                        self._ingest(flow)
+                scope = self._scope_vector(dirty, dirty_flows)
+                if scope is None or scope.size >= _VEC_SOLVE_MIN:
+                    self._solve_vector(scope)
+                elif scope.size:
+                    flows_pos = self._flows_pos
+                    flows = [flows_pos[pos] for pos in scope]
+                    self._compute_rates(flows)
+                    rate = self._rate_v
+                    for flow in flows:
+                        rate[flow.pos] = flow._rate
+            else:
+                scope = self._scope_scalar(dirty, dirty_flows)
+                if scope:
+                    self._compute_rates(scope)
+        self._refresh_deadlines_and_arm()
 
     def _advance_to_now(self) -> None:
-        """Debit progress on all active flows since the last recompute.
+        """Debit progress on all active flows since the last solve instant.
 
-        While debiting, the completion heap is rebuilt from each flow's
-        refreshed projected finish time: rates were constant over the
-        elapsed interval, but the division ``remaining / rate`` must be
-        re-evaluated at the current instant so completion wake-ups land on
-        exactly the times the reference kernel would compute.
+        Rates were constant over the elapsed interval, so the debit is the
+        exact ``remaining - rate * elapsed`` the reference kernel computes.
+        Deadlines are refreshed en masse at the end-of-instant flush.
         """
         now = self.sim.now
         elapsed = now - self._last_advance
-        if elapsed > 0.0:
-            entries: List[Tuple[float, int, Flow]] = []
-            append = entries.append
+        if elapsed <= 0.0:
+            return
+        if self._vector:
+            n = self._n_live
+            if n:
+                rem = self._rem_v[:n]
+                rem -= self._rate_v[:n] * elapsed
+        else:
             for flow in self._active:
-                rate = flow.rate
-                remaining = flow.remaining - rate * elapsed
-                flow.remaining = remaining
-                if rate > 0.0:
-                    deadline = now + remaining / rate
-                    flow.deadline = deadline
-                    append((deadline, flow.fid, flow))
-                else:  # pragma: no cover - defensive; rates > 0 always
-                    flow.deadline = None
-            heapify(entries)
-            self._heap = entries
-            self._last_advance = now
+                flow._rem = flow._rem - flow._rate * elapsed
+        self._last_advance = now
 
-    def _scope_flows(self) -> List[Flow]:
+    # -- component scoping ---------------------------------------------------
+    def _scope_scalar(
+        self, dirty: Dict[Link, None], dirty_flows: Dict[Flow, None]
+    ) -> List[Flow]:
         """Flows in the connected component(s) of the dirty links.
 
-        An arrival or departure can only change rates of flows sharing a
-        link with the perturbed flow, transitively.  The returned list
-        preserves ``_active`` insertion order so the scoped water-filling
-        pass fixes flows in exactly the order a full pass would.
+        A batch of arrivals/departures can only change rates of flows
+        sharing a link with a perturbed flow, transitively.  The returned
+        list preserves ``_active`` insertion order so the scoped
+        water-filling pass fixes flows in exactly the order a full pass
+        would.
         """
-        dirty = self._dirty
-        dirty_flows = self._dirty_flows
-        if not dirty and not dirty_flows:
-            return []
-        self._dirty = {}
-        self._dirty_flows = {}
         active = self._active
         seen_links = set(dirty)
         seen_flows = set(flow for flow in dirty_flows if flow in active)
+        n_active = len(active)
         queue: List[Link] = list(dirty)
         for flow in seen_flows:
             for link in flow.path:
@@ -343,6 +650,8 @@ class FlowNetwork:
                     queue.append(link)
         pop = queue.pop
         while queue:
+            if len(seen_flows) >= n_active:
+                return list(active)
             link = pop()
             for flow in link.flows:
                 if flow not in seen_flows:
@@ -351,42 +660,114 @@ class FlowNetwork:
                         if other not in seen_links:
                             seen_links.add(other)
                             queue.append(other)
-        if len(seen_flows) >= len(active):
+        if len(seen_flows) >= n_active:
             return list(active)
         return [flow for flow in active if flow in seen_flows]
 
-    def _recompute_and_reschedule(self) -> None:
-        """Recompute rates for the perturbed component, re-arm the wake-up."""
-        scope = self._scope_flows()
-        if scope:
-            self._compute_rates(scope)
-            # Refresh projected completions for flows whose rate changed.
-            now = self.sim.now
-            heap = self._heap
-            for flow in scope:
-                rate = flow.rate
-                if rate > 0.0:
-                    deadline = now + flow.remaining / rate
-                    if deadline != flow.deadline:
-                        flow.deadline = deadline
-                        heappush(heap, (deadline, flow.fid, flow))
-                else:  # pragma: no cover - defensive; rates > 0 always
-                    flow.deadline = None
-        self._arm_wake()
+    def _scope_vector(
+        self, dirty: Dict[Link, None], dirty_flows: Dict[Flow, None]
+    ) -> Optional[np.ndarray]:
+        """Arena rows of the dirty links' connected component(s).
 
-    def _arm_wake(self) -> None:
-        """Schedule a wake-up for the earliest projected completion."""
-        heap = self._heap
-        active = self._active
-        while heap:
-            deadline, _, flow = heap[0]
-            if flow.deadline == deadline and flow in active:
+        BFS over the link-link co-traversal graph (``_adjb``): every flow's
+        path is a clique there, so the link-side components of the
+        bipartite flow/link graph coincide with the flow-side ones.  The
+        expansion therefore runs entirely on #links-sized arrays; the live
+        flows are gathered against the final link set exactly once.
+        Returns None when the component covers every live flow, so callers
+        can use whole-array views instead of fancy indexing.
+        """
+        n = self._n_live
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        occ = self._occ_t
+        pad = self._pad
+        link_seen = np.zeros(pad + 1, dtype=bool)
+        for link in dirty:
+            link_seen[link.idx] = True
+        # Path-less (rate-cap-only) flows are isolated single-flow
+        # components; they never hit a link during the BFS, so collect
+        # their rows separately and splice them into the result.
+        isolated: List[int] = []
+        for flow in dirty_flows:
+            pos = flow.pos
+            if pos < 0:
+                continue
+            if flow.path:
+                link_seen[occ[:, pos]] = True
+            else:
+                isolated.append(pos)
+        link_seen[pad] = False
+        seen_l = link_seen[:pad]
+        adjb = self._adjb[:pad, :pad]
+        count = int(np.count_nonzero(seen_l))
+        while count:
+            # Expand from every seen link at once; re-including settled
+            # rows costs nothing at #links scale and keeps the iteration
+            # at four array ops.
+            reach = adjb[seen_l].any(axis=0)
+            seen_l |= reach
+            grown = int(np.count_nonzero(seen_l))
+            if grown == count:
                 break
-            heappop(heap)
+            count = grown
+        # One flow gather against the settled link set.
+        hit = link_seen[occ[:, :n]].any(axis=0)
+        if isolated:
+            hit[isolated] = True
+        if int(np.count_nonzero(hit)) >= n:
+            return None
+        return hit.nonzero()[0]
+
+    # -- wake-ups and completions --------------------------------------------
+    def _refresh_deadlines_and_arm(self) -> None:
+        """Recompute every active flow's projected completion, arm a wake.
+
+        All deadlines are re-evaluated as ``now + remaining / rate`` at the
+        flush instant — exactly the division the reference kernel performs
+        after each advance — so completion wake-ups land on bit-identical
+        times whichever mode computed them.
+        """
+        now = self.sim.now
+        earliest = _INF
+        if self._vector:
+            n = self._n_live
+            if n:
+                rate = self._rate_v[:n]
+                if self._sc_flow_f.size < n:
+                    self._sc_flow_f = np.empty(max(64, 2 * n))
+                left = self._sc_flow_f[:n]
+                # Rates are positive for every live flow, so the plain
+                # division is exact; a zero rate would surface as inf
+                # (harmless, same as the masked path) or, with zero
+                # remaining, as nan — caught below and recomputed the
+                # careful way.
+                np.divide(self._rem_v[:n], rate, out=left)
+                # IEEE addition is monotone, so the flow minimising
+                # remaining/rate also minimises now + remaining/rate, and
+                # for that flow the sum below is the exact scalar-path
+                # expression — no per-flow deadline array needed.
+                shortest = float(np.minimum.reduce(left))
+                if shortest != shortest:  # pragma: no cover - 0-rate guard
+                    left.fill(_INF)
+                    np.divide(self._rem_v[:n], rate, out=left, where=rate > 0.0)
+                    shortest = float(np.minimum.reduce(left))
+                if shortest != _INF:
+                    earliest = now + shortest
         else:
+            for flow in self._active:
+                rate = flow._rate
+                if rate > 0.0:
+                    deadline = now + flow._rem / rate
+                    flow._dl = deadline
+                    if deadline < earliest:
+                        earliest = deadline
+                else:  # pragma: no cover - defensive; rates > 0 always
+                    flow._dl = None
+        if earliest == _INF:
             self._wake_event = None
             return
-        delay = deadline - self.sim.now
+        delay = earliest - now
         if delay < 0.0:
             delay = 0.0
         wake = self.sim.timeout(delay, name="flownet:wake")
@@ -395,13 +776,23 @@ class FlowNetwork:
 
     def _on_wake(self, event: Event) -> None:
         if event is not self._wake_event:
-            return  # a newer recompute superseded this wake-up
+            return  # a newer solve superseded this wake-up
         self._wake_event = None
         self._advance_to_now()
         now = self.sim.now
-        finished = [f for f in self._active if f.remaining <= _EPSILON_BYTES]
+        if self._vector:
+            n = self._n_live
+            done_pos = (self._rem_v[:n] <= _EPSILON_BYTES).nonzero()[0]
+            flows_pos = self._flows_pos
+            finished = [flows_pos[pos] for pos in done_pos]
+            # _active insertion order == ascending fid (fids are assigned
+            # at insertion); completion processing must match the scalar
+            # path's _active scan so done-event sequencing is identical.
+            finished.sort(key=lambda f: f.fid)
+        else:
+            finished = [f for f in self._active if f._rem <= _EPSILON_BYTES]
         if not finished:  # pragma: no cover - defensive
-            self._recompute_and_reschedule()
+            self._schedule_recompute()
             return
         active = self._active
         dirty = self._dirty
@@ -410,19 +801,24 @@ class FlowNetwork:
             for link in flow.path:
                 link.flows.pop(flow, None)
                 dirty[link] = None
-            flow.remaining = 0.0
-            flow.rate = 0.0
-            flow.deadline = None
+            if flow.pos >= 0:
+                self._evict(flow)
+            flow._net = None
+            flow._rem = 0.0
+            flow._rate = 0.0
+            flow._dl = None
             flow.end_time = now
+            self.flow_changes += 1
             self.completed_flows += 1
             self.completed_bytes += flow.size
-        # Defer the recompute: completions resume processes that often start
-        # replacement flows at this same instant, and one recomputation can
-        # serve the whole batch.
+        # The solve is deferred to the end-of-instant flush: completions
+        # resume processes that often start replacement flows at this same
+        # instant, and one solve serves the departures and the replacements.
         self._schedule_recompute()
         for flow in finished:
             flow.done.succeed(flow)
 
+    # -- water-filling -------------------------------------------------------
     def _compute_rates(self, flows: List[Flow]) -> None:
         """Progressive-filling max-min fair allocation with per-flow caps.
 
@@ -436,6 +832,7 @@ class FlowNetwork:
         """
         if not flows:
             return
+        self.solver_runs += 1
         self._epoch += 1
         epoch = self._epoch
         links: List[Link] = []
@@ -470,7 +867,7 @@ class FlowNetwork:
             still_unfixed: List[Flow] = []
             for flow in unfixed:
                 if flow._bound <= threshold:
-                    flow.rate = minimum
+                    flow._rate = minimum
                     for link in flow.path:
                         # Inlined max(left, 0.0) — this line runs once per
                         # (flow, link) per round and the builtin call
@@ -481,3 +878,141 @@ class FlowNetwork:
                 else:
                     still_unfixed.append(flow)
             unfixed = still_unfixed
+
+    def _solve_scratch(self, rows: int, n: int, n_pad: int) -> None:
+        """Size the reusable solver scratch for a (rows x n) working set.
+
+        The water-filling loop allocates nothing per round; everything it
+        touches lives in these buffers, doubled on demand.
+        """
+        if self._sc_flat_i.size < rows * n:
+            size = max(256, 2 * rows * n)
+            self._sc_flat_i = np.empty(size, dtype=np.int64)
+            self._sc_flat_f = np.empty(size)
+        if self._sc_share.size < n_pad + n:
+            self._sc_share = np.empty(max(256, 2 * (n_pad + n)))
+        if self._sc_capleft.size < n_pad:
+            size = max(64, 2 * n_pad)
+            self._sc_capleft = np.empty(size)
+            self._sc_div = np.empty(size)
+            self._sc_seg = np.empty(size, dtype=np.int64)
+            self._sc_off = np.empty(size, dtype=np.int64)
+            self._sc_folded = np.empty(size)
+        if self._sc_flow_f.size < n:
+            self._sc_flow_f = np.empty(max(64, 2 * n))
+        if self._sc_flow_f2.size < n:
+            size = max(64, 2 * n)
+            self._sc_flow_f2 = np.empty(size)
+            self._sc_ar = np.arange(size, dtype=np.int64)
+
+    def _solve_vector(self, scope: Optional[np.ndarray]) -> None:
+        """Vectorized water-filling over the scoped arena columns.
+
+        ``scope`` is an array of arena columns, or None for all live flows.
+        Bit-identical to :meth:`_compute_rates`: shares are the same
+        one-division-per-link quotients, per-flow bounds are pure minima
+        (order-independent, with the pad sentinel's +inf share absorbed),
+        every fixed flow receives the round minimum, and the per-link
+        capacity debit replays the scalar path's subtract-then-clamp chain
+        exactly — for a link whose flows fix ``k`` times in a round,
+        ``np.subtract.reduceat`` left-folds the identical
+        ``cap_left - minimum - minimum - ...`` sequence and a single final
+        clamp equals clamping between steps, because the subtrahend is the
+        same non-negative ``minimum`` throughout the round.
+
+        The working set is a copied ``(stride + 1, n)`` index matrix: the
+        path rows of the scope plus one row of per-flow "cap links" whose
+        shares are the flows' own rate caps, so a single gather + axis-0
+        min yields every bound.  Flows fixed in a round are *poisoned* —
+        their column is repointed at the sentinel and their cap share at
+        +inf — which removes them from all later rounds without any
+        unfixed-mask bookkeeping, and makes the per-round per-link counts
+        a straight ``bincount`` of the matrix itself.
+        """
+        self.solver_runs += 1
+        self.vector_solves += 1
+        stride = self._stride
+        rows = stride + 1
+        n_pad = self._pad + 1
+        pad = n_pad - 1
+        n = self._n_live if scope is None else scope.size
+        self._solve_scratch(rows, n, n_pad)
+        occT = self._sc_flat_i[: rows * n].reshape(rows, n)
+        if scope is None:
+            occT[:stride] = self._occ_t[:, :n]
+        else:
+            self._occ_t.take(scope, axis=1, out=occT[:stride])
+        np.add(self._sc_ar[:n], n_pad, out=occT[stride])
+        counts = np.bincount(occT[:stride].ravel(), minlength=n_pad)
+        share_ext = self._sc_share[: n_pad + n]
+        if scope is None:
+            share_ext[n_pad:] = self._rcap_v[:n]
+        else:
+            self._rcap_v.take(scope, out=share_ext[n_pad:])
+        cap_left = self._sc_capleft[:n_pad]
+        cap_left[:pad] = self._cap_a[:pad]
+        cap_left[pad] = _INF
+        for link in self._fn_links:
+            if counts[link.idx]:
+                cap_left[link.idx] = link.effective_capacity(len(link.flows))
+        div = self._sc_div[:n_pad]
+        g = self._sc_flat_f[: rows * n].reshape(rows, n)
+        bounds = self._sc_flow_f[:n]
+        folded = self._sc_folded[:n_pad]
+        offsets = self._sc_off[:n_pad]
+        seg = self._sc_seg[:pad]
+        rates = self._rate_v[:n] if scope is None else self._sc_flow_f2[:n]
+        if self._sc_flow_b.size < n:
+            self._sc_flow_b = np.empty(max(64, 2 * n), dtype=bool)
+        fixed = self._sc_flow_b[:n]
+        n_done = 0
+        while True:
+            # Links with no unfixed flows get share == cap_left instead of
+            # the scalar path's +inf, but no live column references them —
+            # their flows are all poisoned — so the value is never read.
+            np.maximum(counts, 1, out=div)
+            np.divide(cap_left, div, out=share_ext[:n_pad])
+            share_ext.take(occT, out=g)
+            np.minimum.reduce(g, axis=0, out=bounds)
+            minimum = float(np.minimum.reduce(bounds))
+            if minimum == _INF:  # pragma: no cover - guarded in transfer()
+                raise AssertionError("unbounded flow rate: no cap and empty path")
+            np.less_equal(bounds, minimum * (1.0 + 1e-12), out=fixed)
+            fpos = fixed.nonzero()[0]
+            rates[fpos] = minimum
+            n_done += fpos.size
+            if n_done >= n:
+                break  # the final round's capacity debit is dead scratch
+            # Debit counts from just the fixed columns (gathered before the
+            # poison below): k[l] is how many of the round's fixed flows
+            # traverse link l — identical to diffing two full bincounts but
+            # over a (stride, fixed) slice instead of the whole matrix.
+            cols = occT[:stride].take(fpos, axis=1)
+            k = np.bincount(cols.ravel(), minlength=n_pad)
+            k[pad] = 0  # path padding lands here; the sentinel never pays
+            np.subtract(counts, k, out=counts)
+            # Poison every row of the fixed columns, cap row included: the
+            # sentinel's share is +inf (cap_left[pad] survives each fold as
+            # a single-element reduceat segment), so the repointed cap
+            # entries gather +inf exactly like a dedicated cap poison.
+            occT[:, fpos] = pad
+            # One reduceat over segments [cap_left[l], m, m, ... (k times)]
+            # folds every link's k exact repeated subtractions at once;
+            # k == 0 links pass through their single-element segment.
+            offsets[0] = 0
+            np.add(k[:pad], 1, out=seg)
+            seg.cumsum(out=offsets[1:])
+            total = int(offsets[pad]) + 1
+            if self._sc_fold.size < total:
+                self._sc_fold = np.empty(max(1024, 2 * total))
+            fold = self._sc_fold[:total]
+            fold.fill(minimum)
+            fold[offsets] = cap_left
+            np.subtract.reduceat(fold, offsets, out=folded)
+            # max(x, 0.0) matches the scalar "left if left >= 0.0 else 0.0"
+            # clamp: the fold can't produce -0.0 (operands are >= +0.0 and
+            # a - b rounds ties to +0.0), so the only divergence case never
+            # occurs.
+            np.maximum(folded, 0.0, out=cap_left)
+        if scope is not None:
+            self._rate_v[scope] = rates

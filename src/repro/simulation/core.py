@@ -52,6 +52,7 @@ class Simulator:
         self._now: float = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = count()
+        self._flush: List[Any] = []
         self._running = False
         self.rng = RngRegistry(seed)
         # trace=True gets a private tracer; otherwise fall back to the
@@ -94,6 +95,22 @@ class Simulator:
         """Enqueue an event that was just triggered for immediate processing."""
         heappush(self._queue, (self._now, next(self._seq), event))
 
+    def request_flush(self, callback: Any) -> None:
+        """Run ``callback()`` once at the end of the current instant.
+
+        The callback fires after every event scheduled for the current
+        simulated time has been processed — i.e. just before time would
+        advance (or the queue empties, or a ``run`` deadline is reached).
+        Callbacks run in request order and are one-shot; a callback may
+        request further flushes, which fold into the same instant if no
+        intervening event moved time forward.
+
+        This is how the flow network coalesces an entire instant's worth of
+        arrivals and departures into a single rate solve: zero-duration
+        intermediate states are unobservable, so batching is free.
+        """
+        self._flush.append(callback)
+
     # -- tracing -------------------------------------------------------------
     def record(self, kind: str, **fields: Any) -> None:
         """Emit a trace record if tracing is enabled (no-op otherwise)."""
@@ -126,6 +143,13 @@ class Simulator:
         if not event._ok and not event._defused:
             # Nobody handled the failure: surface it rather than dropping it.
             raise event._value
+
+        flush = self._flush
+        while flush and (not self._queue or self._queue[0][0] > self._now):
+            callbacks = flush[:]
+            del flush[:]
+            for callback in callbacks:
+                callback()
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
@@ -183,8 +207,19 @@ class Simulator:
         Semantics are identical to calling :meth:`step` in a loop.
         """
         queue = self._queue
+        flush = self._flush
         pop = heappop
-        while queue:
+        while True:
+            if flush and (not queue or queue[0][0] > self._now):
+                # End of the current instant: run the one-shot flush
+                # callbacks before time advances (or the run ends).
+                callbacks = flush[:]
+                del flush[:]
+                for callback in callbacks:
+                    callback()
+                continue
+            if not queue:
+                return
             if deadline is not None and queue[0][0] > deadline:
                 return
             when, _, event = pop(queue)

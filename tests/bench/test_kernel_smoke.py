@@ -26,6 +26,7 @@ def test_quick_scenarios_run_and_digest_deterministically():
     assert names == {
         "many_flow_contention",
         "barrier_burst",
+        "flow_storm_5k",
         "kv_storm",
         "fieldio_small",
         "grid_fanout",
