@@ -26,3 +26,6 @@ fi
 
 echo "== tier-1: pytest =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== scheduler/aggregation identity: heap vs wheel vs flat solver =="
+PYTHONPATH=src python scripts/check_scheduler_identity.py --scale ci

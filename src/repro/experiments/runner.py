@@ -112,6 +112,15 @@ def _invoke(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
 #: slower parallel than serial.
 _CHUNKS_PER_WORKER = 4
 
+#: Minimum number of uncached units before ``--jobs`` actually spawns a
+#: process pool.  Pool spin-up (fork/spawn, imports, pickling) costs tens
+#: of milliseconds — on a sub-threshold grid that overhead dwarfs the work
+#: itself (``grid_fanout`` measured parallel ~5x *slower* than serial), so
+#: small grids short-circuit to the in-process serial path.  The output is
+#: byte-identical either way: units are pure and results are slotted back
+#: by unit index regardless of execution strategy.
+_POOL_MIN_UNITS = 10
+
 
 def _invoke_chunk(items: List[tuple]) -> List[Any]:
     """Run a chunk of ``(fn, kwargs)`` units in one worker round-trip."""
@@ -199,7 +208,7 @@ def run_grid(
     progress = _Progress(
         label, len(units), cached=len(units) - len(pending), enabled=opts.progress
     )
-    if opts.jobs > 1 and len(pending) > 1:
+    if opts.jobs > 1 and len(pending) >= _POOL_MIN_UNITS:
         # Small units are chunked so one worker round-trip executes several
         # of them: one future per unit made tiny grids slower parallel than
         # serial on pure pool overhead.  Chunking cannot change the output —

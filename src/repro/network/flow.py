@@ -29,6 +29,19 @@ Performance notes (the kernel fast path, see ``repro bench``):
   left untouched.  Within a component the arithmetic is the exact
   water-filling recurrence — results are bit-identical to the reference
   algorithm (see ``tests/network/test_flow_reference.py``).
+* **Hierarchical flow aggregation.**  Flows sharing an identical link path
+  and rate cap are coalesced into one :class:`FlowGroup`, and the solver
+  operates on groups instead of flows: the dominant NWP pattern — N
+  synchronised ensemble writers on the same client→engine path — costs
+  O(distinct paths) solver rows instead of O(N).  The coalescing is exact,
+  not approximate: same-group flows have bitwise-identical per-round bounds
+  (the same minimum over the same link shares and cap), so the flat solver
+  fixes them in the same round at the same rate; the grouped solver fixes
+  the group once and replays each link's per-member capacity debits as the
+  identical subtract/clamp chain (count-for-count), making every completion
+  time bit-identical to the flat solve (see
+  ``tests/network/test_flow_aggregation.py``).  ``aggregate=False`` or
+  ``REPRO_FLAT_SOLVER=1`` pins the flat per-flow solver.
 * **Vectorized solving.**  Above ``_VEC_ON`` concurrent flows the network
   migrates its hot state into a compact numpy arena: per-flow
   remaining/rate/deadline arrays are kept dense by swap-deleting completed
@@ -51,6 +64,8 @@ from __future__ import annotations
 import math
 import os
 from itertools import count
+from operator import attrgetter
+from sys import intern as _sintern
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -58,7 +73,7 @@ import numpy as np
 from repro.simulation.core import Simulator
 from repro.simulation.events import Event
 
-__all__ = ["Link", "Flow", "FlowNetwork"]
+__all__ = ["Link", "Flow", "FlowGroup", "FlowNetwork"]
 
 #: Flows with fewer remaining bytes than this are considered complete.
 #: Well below one byte, comfortably above double-precision noise for the
@@ -83,6 +98,15 @@ _VEC_SOLVE_MIN = 40
 def _env_forces_scalar() -> bool:
     """True when ``REPRO_SCALAR_SOLVER`` requests the pure-Python kernel."""
     return os.environ.get("REPRO_SCALAR_SOLVER", "") not in ("", "0")
+
+
+def _env_forces_flat() -> bool:
+    """True when ``REPRO_FLAT_SOLVER`` disables hierarchical aggregation."""
+    return os.environ.get("REPRO_FLAT_SOLVER", "") not in ("", "0")
+
+
+#: C-level sort key for completion ordering (hot at 100k-flow batches).
+_fid_of = attrgetter("fid")
 
 
 class Link:
@@ -162,6 +186,47 @@ class Link:
         return f"<Link {self.name!r} cap={self.capacity:.3g} B/s {len(self.flows)} flows>"
 
 
+class FlowGroup:
+    """All in-flight flows sharing one exact (path, rate_cap) signature.
+
+    Same-group flows are indistinguishable to the water-filling solver —
+    each round they see the same link shares and the same cap, so they
+    carry bitwise-identical bounds and always fix together at the round
+    minimum.  The solver therefore works on groups (one row, weight ``n``)
+    and fans the result back out to the members.
+
+    The grouping key is the exact tuple of link indices, multiplicity and
+    order included; path-less (rate-cap-only) flows get a singleton group
+    each, because they are isolated components that may be solved in
+    different scopes and so cannot be assumed to share a rate.
+
+    ``gid`` is the group's row in the vectorized group arena while vector
+    mode is active (-1 otherwise).
+    """
+
+    __slots__ = ("key", "path", "occ_items", "rate_cap", "n", "gid", "_bound")
+
+    def __init__(self, key, path: Tuple["Link", ...], rate_cap: float) -> None:
+        self.key = key
+        self.path = path
+        #: Distinct links of the path with their multiplicities, computed
+        #: once per group so member admission/retirement does per-link dict
+        #: writes without re-deriving multiplicity per flow.
+        counts: Dict["Link", int] = {}
+        for link in path:
+            counts[link] = counts.get(link, 0) + 1
+        self.occ_items: Tuple[Tuple["Link", int], ...] = tuple(counts.items())
+        self.rate_cap = rate_cap
+        #: Number of active member flows.
+        self.n = 0
+        self.gid = -1
+        # Per-round water-filling bound (scratch, valid within one round).
+        self._bound = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlowGroup n={self.n} cap={self.rate_cap:.3g} key={self.key!r}>"
+
+
 class Flow:
     """One in-flight bulk transfer.
 
@@ -181,7 +246,12 @@ class Flow:
         "rate_cap",
         "start_time",
         "end_time",
+        # Completion event; cleared (None) once it fires so a finished
+        # flow and its event are not a reference cycle (see _on_wake).
         "done",
+        # The (path, rate_cap) aggregation group this flow belongs to while
+        # active; None before start and after completion.
+        "group",
         # Arena row while the vector arena holds this flow; -1 when the
         # scalar attributes are authoritative.
         "pos",
@@ -211,6 +281,7 @@ class Flow:
         self.start_time: float = math.nan
         self.end_time: Optional[float] = None
         self.done = done
+        self.group: Optional[FlowGroup] = None
         self.pos = -1
         self._net: Optional["FlowNetwork"] = None
         self._rem = float(size)
@@ -277,17 +348,33 @@ class FlowNetwork:
     (default) migrates to the vectorized arena above ``_VEC_ON`` concurrent
     flows, ``"scalar"`` pins the pure-Python kernel (also forced by the
     ``REPRO_SCALAR_SOLVER=1`` environment escape hatch), ``"vector"`` pins
-    the arena from the first flow (used by the equivalence tests).  All
-    modes are bit-identical.
+    the arena from the first flow (used by the equivalence tests).
+
+    ``aggregate`` selects hierarchical flow aggregation (see the module
+    docstring): True (default) solves per :class:`FlowGroup`, False (or
+    ``REPRO_FLAT_SOLVER=1``) solves per flow.  Group bookkeeping is
+    maintained either way — only the solver kernel differs.  All solver and
+    aggregation modes are bit-identical.
     """
 
-    def __init__(self, sim: Simulator, solver: str = "auto") -> None:
+    def __init__(
+        self, sim: Simulator, solver: str = "auto", aggregate: bool = True
+    ) -> None:
         if solver not in ("auto", "scalar", "vector"):
             raise ValueError(f"unknown solver mode {solver!r}")
         if _env_forces_scalar():
             solver = "scalar"
+        if _env_forces_flat():
+            aggregate = False
         self.sim = sim
         self.solver = solver
+        self.aggregate = aggregate
+        #: Active aggregation groups keyed by exact (path indices, cap)
+        #: signature (or flow id for singleton path-less groups).
+        self._groups: Dict[object, FlowGroup] = {}
+        #: Live path-less (rate-cap-only) flows; lets the vector scoper
+        #: prove full coverage without gathering the whole arena.
+        self._pathless_active = 0
         self.links: Dict[str, Link] = {}
         self._link_list: List[Link] = []
         self._fn_links: List[Link] = []
@@ -350,6 +437,22 @@ class FlowNetwork:
         #: 0 <-> 1 transitions.
         self._adjb = np.zeros((0, 0), dtype=bool)
         self._pairs: Dict[Tuple[int, int], int] = {}
+        # -- group arena (rows [0, _ng); freed rows are recycled) ----------
+        #: Per-flow group row (int64, parallel to the flow arena columns).
+        self._gid_v = np.zeros(0, dtype=np.int64)
+        self._ng = 0
+        self._g_free: List[int] = []
+        #: Member counts as float64 — used directly as bincount weights;
+        #: exact for any realistic population (integers < 2**53).
+        self._g_n = np.zeros(0)
+        self._g_cap = np.zeros(0)
+        #: Rate of every member of the group as of the last solve that
+        #: touched it.  Invariant: correct for *all* active groups after
+        #: every solve (scoped solves leave untouched components' rates
+        #: unchanged by construction), so a full solve may scatter
+        #: ``_g_rate[gid_v]`` across the whole flow arena.
+        self._g_rate = np.zeros(0)
+        self._g_occ_t = np.zeros((4, 0), dtype=np.int64)
         # -- solver scratch (reused across solves; sized on demand) -------
         self._sc_flat_i = np.zeros(0, dtype=np.int64)  # (stride+1, n) indices
         self._sc_flat_f = np.zeros(0)  # (stride+1, n) gathered shares
@@ -362,6 +465,7 @@ class FlowNetwork:
         self._sc_folded = np.zeros(0)
         self._sc_flow_f = np.zeros(0)  # per-flow float scratch (bounds, ...)
         self._sc_flow_f2 = np.zeros(0)  # per-flow float scratch (rates, ...)
+        self._sc_gw = np.zeros(0)  # per-group weight scratch (scoped solves)
         self._sc_flow_b = np.zeros(0, dtype=bool)  # per-flow bool scratch
         self._sc_ar = np.zeros(0, dtype=np.int64)  # 0..n arange
 
@@ -393,6 +497,8 @@ class FlowNetwork:
             # (their old value is exactly this link's index).
             live = self._occ_t[:, : self._n_live]
             live[live == self._pad] = idx + 1
+            glive = self._g_occ_t[:, : self._ng]
+            glive[glive == self._pad] = idx + 1
         self._pad = idx + 1
         return link
 
@@ -414,32 +520,104 @@ class FlowNetwork:
             raise ValueError(f"transfer size must be non-negative, got {nbytes}")
         if rate_cap <= 0:
             raise ValueError(f"rate cap must be positive, got {rate_cap}")
-        done = self.sim.event(name=f"flow:{name}")
-        flow = Flow(next(self._fid), tuple(path), nbytes, rate_cap, done, name=name)
-        flow.start_time = self.sim.now
+        sim = self.sim
+        now = sim._now
+        # Interned: flows overwhelmingly reuse a handful of role names, so
+        # a 100k-flow wave allocates a handful of strings instead of 100k.
+        done = Event(sim, name=_sintern("flow:" + name) if name else "flow:")
+        tpath = tuple(path)
+        flow = Flow(next(self._fid), tpath, nbytes, rate_cap, done, name=name)
+        flow.start_time = now
         if nbytes == 0:
-            flow.end_time = self.sim.now
+            flow.end_time = now
+            flow.done = None  # break the flow<->event cycle (see _on_wake)
             done.succeed(flow)
             return done
-        if not flow.path and not math.isfinite(rate_cap):
+        if not tpath and not math.isfinite(rate_cap):
             raise ValueError("a flow needs a non-empty path or a finite rate cap")
-        self._advance_to_now()
+        # The body below is the per-flow admission fast path: guards are
+        # inlined (method calls cost real time at 100k flows/instant) and
+        # the per-link multiplicity work is done once per *group*.
+        if now > self._last_advance:
+            self._advance_to_now()
         self.flow_changes += 1
         flow._net = self
         self._active[flow] = None
+        # Marking the flow dirty is enough to seed the recompute scope:
+        # both _scope_scalar and _scope_vector expand from a dirty flow's
+        # own path, so arrivals do not need per-link dirty marks.
         self._dirty_flows[flow] = None
-        dirty = self._dirty
-        for link in flow.path:
-            flows = link.flows
-            flows[flow] = flows.get(flow, 0) + 1
-            dirty[link] = None
-        self._schedule_recompute()
+        if tpath:
+            # Links hash by identity, so the link tuple itself is the path
+            # key — no per-flow index materialisation.
+            key = (tpath, flow.rate_cap)
+        else:
+            key = flow.fid  # singleton group (see FlowGroup docstring)
+        groups = self._groups
+        group = groups.get(key)
+        if group is None:
+            groups[key] = group = FlowGroup(key, tpath, flow.rate_cap)
+            if len(tpath) > 1:
+                self._register_pairs(group)
+        for link, mult in group.occ_items:
+            link.flows[flow] = mult
+        if not tpath:
+            self._pathless_active += 1
+        group.n += 1
+        flow.group = group
+        if group.gid >= 0:
+            self._g_n[group.gid] = group.n
+        if not self._recompute_pending:
+            self._recompute_pending = True
+            self.sim.request_flush(self._flush_recompute)
         return done
 
     @property
     def active_flows(self) -> int:
         """Number of flows currently in flight."""
         return len(self._active)
+
+    @property
+    def active_groups(self) -> int:
+        """Number of distinct (path, rate_cap) aggregation groups in flight."""
+        return len(self._groups)
+
+    # -- co-traversal adjacency (maintained on group 0 <-> 1 transitions) ----
+    def _register_pairs(self, group: FlowGroup) -> None:
+        """Mark the group's path clique in the link-link adjacency.
+
+        ``_pairs`` counts live *groups* (not flows) per link pair, so the
+        bool matrix is touched only when a distinct path appears or
+        disappears — O(distinct paths) updates instead of O(flows).
+        """
+        pairs = self._pairs
+        adjb = self._adjb
+        idxs = [link.idx for link in group.path]
+        for i in range(len(idxs) - 1):
+            a = idxs[i]
+            for b in idxs[i + 1 :]:
+                key = (a, b) if a <= b else (b, a)
+                seen = pairs.get(key, 0)
+                if not seen:
+                    adjb[a, b] = True
+                    adjb[b, a] = True
+                pairs[key] = seen + 1
+
+    def _unregister_pairs(self, group: FlowGroup) -> None:
+        pairs = self._pairs
+        adjb = self._adjb
+        idxs = [link.idx for link in group.path]
+        for i in range(len(idxs) - 1):
+            a = idxs[i]
+            for b in idxs[i + 1 :]:
+                key = (a, b) if a <= b else (b, a)
+                seen = pairs[key] - 1
+                if seen:
+                    pairs[key] = seen
+                else:
+                    del pairs[key]
+                    adjb[a, b] = False
+                    adjb[b, a] = False
 
     # -- arena bookkeeping ---------------------------------------------------
     def _ensure_capacity(self, n: int, pathlen: int) -> None:
@@ -452,6 +630,11 @@ class FlowNetwork:
             )
             occ[: self._stride] = self._occ_t
             self._occ_t = occ
+            gocc = np.full(
+                (pathlen, self._g_occ_t.shape[1]), self._pad, dtype=np.int64
+            )
+            gocc[: self._stride] = self._g_occ_t
+            self._g_occ_t = gocc
             self._stride = pathlen
         if n > self._rem_v.size:
             grown = max(64, 2 * self._rem_v.size, n)
@@ -460,10 +643,63 @@ class FlowNetwork:
                 new = np.zeros(grown)
                 new[: old.size] = old
                 setattr(self, attr, new)
+            gid = np.full(grown, -1, dtype=np.int64)
+            gid[: self._gid_v.size] = self._gid_v
+            self._gid_v = gid
             occ = np.full((self._stride, grown), self._pad, dtype=np.int64)
             occ[:, : self._occ_t.shape[1]] = self._occ_t
             self._occ_t = occ
             self._flows_pos.extend([None] * (grown - len(self._flows_pos)))
+
+    def _g_ingest(self, group: FlowGroup, rate: float) -> None:
+        """Give ``group`` a row in the group arena (recycling freed rows).
+
+        ``rate`` seeds ``_g_rate``: when entering vector mode mid-run the
+        members already carry a solved rate (identical across the group),
+        and the invariant on ``_g_rate`` must hold before the next scoped
+        solve's full-arena scatter.
+        """
+        free = self._g_free
+        if free:
+            gid = free.pop()
+        else:
+            gid = self._ng
+            self._ng = gid + 1
+            if self._ng > self._g_n.size:
+                grown = max(64, 2 * self._g_n.size, self._ng)
+                for attr in ("_g_n", "_g_cap", "_g_rate"):
+                    old = getattr(self, attr)
+                    new = np.zeros(grown)
+                    new[: old.size] = old
+                    setattr(self, attr, new)
+                gocc = np.full((self._stride, grown), self._pad, dtype=np.int64)
+                gocc[:, : self._g_occ_t.shape[1]] = self._g_occ_t
+                self._g_occ_t = gocc
+        group.gid = gid
+        self._g_n[gid] = group.n
+        self._g_cap[gid] = group.rate_cap
+        self._g_rate[gid] = rate
+        column = self._g_occ_t[:, gid]
+        length = len(group.path)
+        if length:
+            column[:length] = [link.idx for link in group.path]
+        column[length:] = self._pad
+
+    def _g_retire(self, group: FlowGroup) -> None:
+        """Neutralise an emptied group's arena row and recycle it.
+
+        The row stays inside ``[0, _ng)`` (no swap-compaction — that would
+        invalidate every member's ``_gid_v`` entry), but all-pad occupancy,
+        weight 0 and cap +inf make it inert: bound +inf, never fixed, zero
+        contribution to link counts, so a full-arena grouped solve can run
+        over ``[0, _ng)`` without masking.
+        """
+        gid = group.gid
+        self._g_n[gid] = 0.0
+        self._g_cap[gid] = _INF
+        self._g_occ_t[:, gid] = self._pad
+        self._g_free.append(gid)
+        group.gid = -1
 
     def _ingest(self, flow: Flow) -> None:
         """Append a flow to the arena (column ``_n_live``)."""
@@ -478,40 +714,53 @@ class FlowNetwork:
         column = self._occ_t[:, pos]
         length = len(flow.path)
         if length:
-            idxs = [link.idx for link in flow.path]
-            column[:length] = idxs
-            if length > 1:
-                pairs = self._pairs
-                adjb = self._adjb
-                for i in range(length - 1):
-                    a = idxs[i]
-                    for b in idxs[i + 1 :]:
-                        key = (a, b) if a <= b else (b, a)
-                        seen = pairs.get(key, 0)
-                        if not seen:
-                            adjb[a, b] = True
-                            adjb[b, a] = True
-                        pairs[key] = seen + 1
+            column[:length] = [link.idx for link in flow.path]
         column[length:] = self._pad
+        group = flow.group
+        if group.gid < 0:
+            self._g_ingest(group, flow._rate)
+        self._gid_v[pos] = group.gid
+
+    def _ingest_batch(self, flows: List[Flow]) -> None:
+        """Append many flows to the arena with whole-array writes.
+
+        A synchronised wave admits its entire population at one flush;
+        per-flow :meth:`_ingest` pays ~6 numpy scalar writes each, while
+        here the per-flow Python shrinks to position bookkeeping and the
+        arrays land via bulk converts.  Occupancy columns are copied from
+        the group arena — a member's path column is its group's by
+        definition — so path index lists are never re-derived per flow.
+        """
+        m = len(flows)
+        pos0 = self._n_live
+        maxlen = 0
+        for flow in flows:
+            length = len(flow.path)
+            if length > maxlen:
+                maxlen = length
+        self._ensure_capacity(pos0 + m, maxlen)
+        flows_pos = self._flows_pos
+        pos = pos0
+        for flow in flows:
+            group = flow.group
+            if group.gid < 0:
+                self._g_ingest(group, flow._rate)
+            flows_pos[pos] = flow
+            flow.pos = pos
+            pos += 1
+        end = pos0 + m
+        self._rem_v[pos0:end] = [flow._rem for flow in flows]
+        self._rate_v[pos0:end] = [flow._rate for flow in flows]
+        self._rcap_v[pos0:end] = [flow.rate_cap for flow in flows]
+        gids = np.fromiter(
+            (flow.group.gid for flow in flows), dtype=np.int64, count=m
+        )
+        self._gid_v[pos0:end] = gids
+        self._occ_t[:, pos0:end] = self._g_occ_t.take(gids, axis=1)
+        self._n_live = end
 
     def _evict(self, flow: Flow) -> None:
         """Swap-delete a flow's arena column, keeping the arena compact."""
-        path = flow.path
-        if len(path) > 1:
-            pairs = self._pairs
-            adjb = self._adjb
-            idxs = [link.idx for link in path]
-            for i in range(len(idxs) - 1):
-                a = idxs[i]
-                for b in idxs[i + 1 :]:
-                    key = (a, b) if a <= b else (b, a)
-                    seen = pairs[key] - 1
-                    if seen:
-                        pairs[key] = seen
-                    else:
-                        del pairs[key]
-                        adjb[a, b] = False
-                        adjb[b, a] = False
         pos = flow.pos
         last = self._n_live - 1
         if pos != last:
@@ -521,18 +770,61 @@ class FlowNetwork:
             self._rem_v[pos] = self._rem_v[last]
             self._rate_v[pos] = self._rate_v[last]
             self._rcap_v[pos] = self._rcap_v[last]
+            self._gid_v[pos] = self._gid_v[last]
             self._occ_t[:, pos] = self._occ_t[:, last]
         self._flows_pos[last] = None
         self._n_live = last
         flow.pos = -1
 
+    def _evict_batch(self, done_pos: np.ndarray) -> None:
+        """Compact the arena after a batch of completions in one pass.
+
+        Stable compaction by boolean keep-mask: a storm's completion batch
+        evicts tens of thousands of columns, where per-flow swap-deletes
+        pay four numpy scalar copies each; here the arrays move in a
+        handful of whole-array gathers and only the survivors' ``pos``
+        fields are touched in Python.  Arena column order changes relative
+        to swap-deleting, which is safe: all solver arithmetic and scans
+        are order-independent, and completion *processing* order is fixed
+        by the fid sort in ``_on_wake``, not by column order.
+        """
+        n = self._n_live
+        keep = np.ones(n, dtype=bool)
+        keep[done_pos] = False
+        idx = keep.nonzero()[0]
+        m = idx.size
+        for name in ("_rem_v", "_rate_v", "_rcap_v", "_gid_v"):
+            a = getattr(self, name)
+            a[:m] = a[idx]
+        occ = self._occ_t
+        occ[:, :m] = occ[:, idx]
+        flows_pos = self._flows_pos
+        live = 0
+        # idx is ascending, so live <= pos: writes never clobber an unread
+        # survivor.
+        for pos in idx.tolist():
+            mover = flows_pos[pos]
+            flows_pos[live] = mover
+            mover.pos = live
+            live += 1
+        for j in range(live, n):
+            flows_pos[j] = None
+        self._n_live = m
+
     def _enter_vector(self) -> None:
+        # The co-traversal adjacency (``_pairs``/``_adjb``) is maintained
+        # continuously on group transitions, so it is already correct here.
         self._n_live = 0
         self._pad = len(self._link_list)
-        self._adjb[:] = False
-        self._pairs.clear()
-        for flow in self._active:
-            self._ingest(flow)
+        self._ng = 0
+        self._g_free.clear()
+        for group in self._groups.values():
+            group.gid = -1
+        if len(self._active) >= 64:
+            self._ingest_batch(list(self._active))
+        else:
+            for flow in self._active:
+                self._ingest(flow)
         self._vector = True
         self.mode_switches += 1
 
@@ -552,6 +844,10 @@ class FlowNetwork:
             )
             flow.pos = -1
             flows_pos[pos] = None
+        for group in self._groups.values():
+            group.gid = -1
+        self._ng = 0
+        self._g_free.clear()
         self._n_live = 0
         self._vector = False
         self.mode_switches += 1
@@ -586,23 +882,49 @@ class FlowNetwork:
             self._dirty_flows = {}
             if self._vector:
                 active = self._active
-                for flow in dirty_flows:
-                    if flow.pos < 0 and flow in active:
+                arrivals = [
+                    flow
+                    for flow in dirty_flows
+                    if flow.pos < 0 and flow in active
+                ]
+                if len(arrivals) >= 64:
+                    self._ingest_batch(arrivals)
+                else:
+                    for flow in arrivals:
                         self._ingest(flow)
                 scope = self._scope_vector(dirty, dirty_flows)
                 if scope is None or scope.size >= _VEC_SOLVE_MIN:
-                    self._solve_vector(scope)
+                    # Aggregation only pays when groups actually coalesce;
+                    # with near-singleton groups the flat kernel is cheaper.
+                    # Free choice: both kernels are bit-identical.
+                    if self.aggregate and 2 * len(self._groups) <= len(
+                        self._active
+                    ):
+                        self._solve_vector_grouped(scope)
+                    else:
+                        self._solve_vector(scope)
                 elif scope.size:
+                    # Tiny perturbed component: the scalar kernel wins even
+                    # with the arena active.  The flat kernel is used for
+                    # both aggregation settings (its result is bit-identical
+                    # to the grouped one); only the _g_rate upkeep differs.
                     flows_pos = self._flows_pos
                     flows = [flows_pos[pos] for pos in scope]
                     self._compute_rates(flows)
                     rate = self._rate_v
+                    gid_v = self._gid_v
+                    g_rate = self._g_rate
                     for flow in flows:
-                        rate[flow.pos] = flow._rate
+                        r = flow._rate
+                        rate[flow.pos] = r
+                        g_rate[gid_v[flow.pos]] = r
             else:
                 scope = self._scope_scalar(dirty, dirty_flows)
                 if scope:
-                    self._compute_rates(scope)
+                    if self.aggregate:
+                        self._compute_rates_grouped(scope)
+                    else:
+                        self._compute_rates(scope)
         self._refresh_deadlines_and_arm()
 
     def _advance_to_now(self) -> None:
@@ -680,6 +1002,15 @@ class FlowNetwork:
         n = self._n_live
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        if len(dirty_flows) >= n:
+            # A synchronised wave marks every live flow dirty; the component
+            # is trivially total, so skip the BFS and the per-flow marking.
+            live_dirty = 0
+            for flow in dirty_flows:
+                if flow.pos >= 0:
+                    live_dirty += 1
+            if live_dirty >= n:
+                return None
         occ = self._occ_t
         pad = self._pad
         link_seen = np.zeros(pad + 1, dtype=bool)
@@ -711,6 +1042,15 @@ class FlowNetwork:
             if grown == count:
                 break
             count = grown
+        if not isolated and not self._pathless_active:
+            # Full-cover shortcut: with no path-less flows alive, the scope
+            # is total iff every *occupied* link landed in the component —
+            # checked over #links instead of gathering the whole arena.
+            for link in self._link_list:
+                if link.flows and not seen_l[link.idx]:
+                    break
+            else:
+                return None
         # One flow gather against the settled link set.
         hit = link_seen[occ[:, :n]].any(axis=0)
         if isolated:
@@ -788,7 +1128,7 @@ class FlowNetwork:
             # _active insertion order == ascending fid (fids are assigned
             # at insertion); completion processing must match the scalar
             # path's _active scan so done-event sequencing is identical.
-            finished.sort(key=lambda f: f.fid)
+            finished.sort(key=_fid_of)
         else:
             finished = [f for f in self._active if f._rem <= _EPSILON_BYTES]
         if not finished:  # pragma: no cover - defensive
@@ -796,27 +1136,68 @@ class FlowNetwork:
             return
         active = self._active
         dirty = self._dirty
+        groups = self._groups
+        # Above the threshold, arena columns are compacted in one vectorized
+        # pass instead of one swap-delete per flow (see _evict_batch).
+        batch = self._vector and len(finished) >= 64
+        # Dirty-marking is per *group*: a 100k-flow completion batch touches
+        # the same handful of links, so mark each link once up front.
+        touched = {}
+        for flow in finished:
+            touched[flow.group] = None
+        for group in touched:
+            for link, _ in group.occ_items:
+                dirty[link] = None
+        completed_bytes = self.completed_bytes
         for flow in finished:
             active.pop(flow, None)
-            for link in flow.path:
+            group = flow.group
+            for link, _ in group.occ_items:
                 link.flows.pop(flow, None)
-                dirty[link] = None
+            if not group.path:
+                self._pathless_active -= 1
+            group.n -= 1
+            if group.n == 0:
+                del groups[group.key]
+                if len(group.path) > 1:
+                    self._unregister_pairs(group)
+                if group.gid >= 0:
+                    self._g_retire(group)
+            elif group.gid >= 0:
+                self._g_n[group.gid] = group.n
+            flow.group = None
             if flow.pos >= 0:
-                self._evict(flow)
+                if batch:
+                    flow.pos = -1
+                else:
+                    self._evict(flow)
             flow._net = None
             flow._rem = 0.0
             flow._rate = 0.0
             flow._dl = None
             flow.end_time = now
-            self.flow_changes += 1
-            self.completed_flows += 1
-            self.completed_bytes += flow.size
+            # Sequential accumulation preserved bit-for-bit: same additions
+            # in the same order as the per-flow form, via a local.
+            completed_bytes += flow.size
+        self.completed_bytes = completed_bytes
+        self.flow_changes += len(finished)
+        self.completed_flows += len(finished)
+        if batch:
+            self._evict_batch(done_pos)
         # The solve is deferred to the end-of-instant flush: completions
         # resume processes that often start replacement flows at this same
         # instant, and one solve serves the departures and the replacements.
         self._schedule_recompute()
         for flow in finished:
-            flow.done.succeed(flow)
+            done = flow.done
+            # Clear the back-reference before triggering: the done event
+            # holds the flow as its value, and ``flow.done`` pointing back
+            # would make every completed transfer a reference cycle — 100k
+            # cycles per wave is pure cyclic-GC load (gen2 pauses dominate
+            # the storm benchmarks).  With the edge cut, refcounting frees
+            # the whole wave as soon as the caller drops its events.
+            flow.done = None
+            done.succeed(flow)
 
     # -- water-filling -------------------------------------------------------
     def _compute_rates(self, flows: List[Flow]) -> None:
@@ -877,6 +1258,86 @@ class FlowNetwork:
                         link._n_unfixed -= 1
                 else:
                     still_unfixed.append(flow)
+            unfixed = still_unfixed
+
+    def _compute_rates_grouped(self, flows: List[Flow]) -> None:
+        """Progressive filling over (path, cap) groups instead of flows.
+
+        Bit-identical to :meth:`_compute_rates` on the same scope:
+
+        * link init is the same per-member accounting (``_n_unfixed`` counts
+          member path occurrences), so every round's shares are the same
+          quotients;
+        * a group's bound is the exact expression every member would
+          compute — ``min(shares along the path, rate_cap)`` — so the round
+          minimum, the fix decisions and the assigned rates all coincide
+          with the flat pass (same-group flows always fix together there);
+        * the capacity debit replays one ``cap_left - minimum`` + clamp step
+          per fixed member per occurrence.  The flat pass interleaves these
+          steps across groups, but every step subtracts the same
+          non-negative ``minimum``, so the result depends only on the step
+          count per link — and once a clamp fires the value is pinned at
+          0.0 for the rest of the round (0.0 - m < 0 clamps back to 0.0),
+          which the early ``break`` below exploits.
+        """
+        if not flows:
+            return
+        self.solver_runs += 1
+        self._epoch += 1
+        epoch = self._epoch
+        links: List[Link] = []
+        buckets: Dict[FlowGroup, List[Flow]] = {}
+        for flow in flows:
+            group = flow.group
+            members = buckets.get(group)
+            if members is None:
+                buckets[group] = [flow]
+            else:
+                members.append(flow)
+            for link in flow.path:
+                if link._epoch != epoch:
+                    link._epoch = epoch
+                    link._cap_left = link.effective_capacity(len(link.flows))
+                    link._n_unfixed = 0
+                    links.append(link)
+                link._n_unfixed += 1
+
+        unfixed = list(buckets.items())
+        while unfixed:
+            for link in links:
+                n = link._n_unfixed
+                if n > 0:
+                    link._share = link._cap_left / n
+            minimum = _INF
+            for group, _ in unfixed:
+                bound = group.rate_cap
+                for link in group.path:
+                    share = link._share
+                    if share < bound:
+                        bound = share
+                group._bound = bound
+                if bound < minimum:
+                    minimum = bound
+            if minimum == _INF:  # pragma: no cover - guarded in transfer()
+                raise AssertionError("unbounded flow rate: no cap and empty path")
+            threshold = minimum * (1.0 + 1e-12)
+            still_unfixed: List[Tuple[FlowGroup, List[Flow]]] = []
+            for group, members in unfixed:
+                if group._bound <= threshold:
+                    for flow in members:
+                        flow._rate = minimum
+                    k = len(members)
+                    for link in group.path:
+                        left = link._cap_left
+                        for _ in range(k):
+                            left -= minimum
+                            if left < 0.0:
+                                left = 0.0
+                                break  # pinned at 0.0 for the round
+                        link._cap_left = left
+                        link._n_unfixed -= k
+                else:
+                    still_unfixed.append((group, members))
             unfixed = still_unfixed
 
     def _solve_scratch(self, rows: int, n: int, n_pad: int) -> None:
@@ -1016,3 +1477,126 @@ class FlowNetwork:
             np.maximum(folded, 0.0, out=cap_left)
         if scope is not None:
             self._rate_v[scope] = rates
+
+    def _solve_vector_grouped(self, fscope: Optional[np.ndarray]) -> None:
+        """Vectorized water-filling over aggregation groups.
+
+        ``fscope`` is the scoped flow columns (None for all live flows); the
+        working set is the corresponding *group* rows — O(distinct paths)
+        columns instead of O(flows).  The structure mirrors
+        :meth:`_solve_vector` exactly, with two weighted twists:
+
+        * link counts are member counts: a group column contributes its
+          weight ``w`` (member count) per path entry, via weighted
+          ``bincount``.  The weights are small integers held in float64, so
+          every sum is exact and the quotients ``cap_left / counts`` are the
+          identical divisions the flat solver performs.
+        * the per-round debit folds ``k = sum(w * multiplicity)`` identical
+          subtractions per link — the same count the flat solver would
+          execute across the group's members, so the reduceat fold replays
+          the identical exact chain.
+
+        A full solve (``fscope is None``) runs over every group row
+        ``[0, _ng)`` including retired (all-pad, weight-0, cap-inf) rows,
+        which are inert by construction; termination counts fixed *members*
+        against the scope's member total, so inert rows never stall the
+        loop.  Afterwards group rates fan out to flows through ``_gid_v``
+        (valid for the whole arena on a full solve by the ``_g_rate``
+        invariant).
+        """
+        self.solver_runs += 1
+        self.vector_solves += 1
+        stride = self._stride
+        rows = stride + 1
+        n_pad = self._pad + 1
+        pad = n_pad - 1
+        if fscope is None:
+            gscope = None
+            ng = self._ng
+        else:
+            gscope = np.unique(self._gid_v[fscope])
+            ng = gscope.size
+        self._solve_scratch(rows, ng, n_pad)
+        if self._sc_gw.size < ng:
+            self._sc_gw = np.empty(max(64, 2 * ng))
+        occT = self._sc_flat_i[: rows * ng].reshape(rows, ng)
+        if gscope is None:
+            occT[:stride] = self._g_occ_t[:, :ng]
+            w = self._g_n[:ng]
+        else:
+            self._g_occ_t.take(gscope, axis=1, out=occT[:stride])
+            w = self._sc_gw[:ng]
+            self._g_n.take(gscope, out=w)
+        np.add(self._sc_ar[:ng], n_pad, out=occT[stride])
+        counts = np.bincount(
+            occT[:stride].ravel(),
+            weights=np.broadcast_to(w, (stride, ng)).ravel(),
+            minlength=n_pad,
+        )
+        share_ext = self._sc_share[: n_pad + ng]
+        if gscope is None:
+            share_ext[n_pad:] = self._g_cap[:ng]
+        else:
+            self._g_cap.take(gscope, out=share_ext[n_pad:])
+        cap_left = self._sc_capleft[:n_pad]
+        cap_left[:pad] = self._cap_a[:pad]
+        cap_left[pad] = _INF
+        for link in self._fn_links:
+            if counts[link.idx]:
+                cap_left[link.idx] = link.effective_capacity(len(link.flows))
+        div = self._sc_div[:n_pad]
+        g = self._sc_flat_f[: rows * ng].reshape(rows, ng)
+        bounds = self._sc_flow_f[:ng]
+        folded = self._sc_folded[:n_pad]
+        offsets = self._sc_off[:n_pad]
+        seg = self._sc_seg[:pad]
+        rates = self._g_rate[:ng] if gscope is None else self._sc_flow_f2[:ng]
+        if self._sc_flow_b.size < ng:
+            self._sc_flow_b = np.empty(max(64, 2 * ng), dtype=bool)
+        fixed = self._sc_flow_b[:ng]
+        total = float(np.add.reduce(w))
+        n_done = 0.0
+        while True:
+            np.maximum(counts, 1, out=div)
+            np.divide(cap_left, div, out=share_ext[:n_pad])
+            share_ext.take(occT, out=g)
+            np.minimum.reduce(g, axis=0, out=bounds)
+            minimum = float(np.minimum.reduce(bounds))
+            if minimum == _INF:  # pragma: no cover - guarded in transfer()
+                raise AssertionError("unbounded flow rate: no cap and empty path")
+            np.less_equal(bounds, minimum * (1.0 + 1e-12), out=fixed)
+            fpos = fixed.nonzero()[0]
+            rates[fpos] = minimum
+            wf = w[fpos]
+            n_done += float(np.add.reduce(wf))
+            if n_done >= total:
+                break
+            cols = occT[:stride].take(fpos, axis=1)
+            kw = np.bincount(
+                cols.ravel(),
+                weights=np.broadcast_to(wf, (stride, fpos.size)).ravel(),
+                minlength=n_pad,
+            )
+            kw[pad] = 0.0  # path padding lands here; the sentinel never pays
+            np.subtract(counts, kw, out=counts)
+            occT[:, fpos] = pad
+            # Exact: kw holds small integer sums, so the int64 round-trip is
+            # lossless and seg/offsets match the flat solver's layout.
+            offsets[0] = 0
+            np.add(kw[:pad].astype(np.int64), 1, out=seg)
+            seg.cumsum(out=offsets[1:])
+            fold_len = int(offsets[pad]) + 1
+            if self._sc_fold.size < fold_len:
+                self._sc_fold = np.empty(max(1024, 2 * fold_len))
+            fold = self._sc_fold[:fold_len]
+            fold.fill(minimum)
+            fold[offsets] = cap_left
+            np.subtract.reduceat(fold, offsets, out=folded)
+            np.maximum(folded, 0.0, out=cap_left)
+        n = self._n_live
+        if gscope is None:
+            # rates wrote _g_rate[:ng] in place; fan out to every flow.
+            self._g_rate.take(self._gid_v[:n], out=self._rate_v[:n])
+        else:
+            self._g_rate[gscope] = rates
+            self._rate_v[fscope] = self._g_rate[self._gid_v[fscope]]

@@ -246,8 +246,15 @@ class Condition(Event):
         if not self._events or self._evaluate(self._events, 0):
             self.succeed(ConditionValue(self._collect()))
             return
+        # Inlined add_callback: conditions over 100k events are built in
+        # one go at storm scale, so the per-event method call matters.
+        check = self._check
         for event in self._events:
-            event.add_callback(self._check)
+            callbacks = event.callbacks
+            if callbacks is None:
+                check(event)
+            else:
+                callbacks.append(check)
 
     def _collect(self) -> List[Event]:
         return [e for e in self._events if e.triggered]

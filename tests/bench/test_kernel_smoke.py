@@ -27,6 +27,7 @@ def test_quick_scenarios_run_and_digest_deterministically():
         "many_flow_contention",
         "barrier_burst",
         "flow_storm_5k",
+        "flow_storm_100k",
         "kv_storm",
         "fieldio_small",
         "grid_fanout",

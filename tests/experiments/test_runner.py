@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+import repro.experiments.runner as runner_module
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import (
     ExecOptions,
@@ -40,16 +41,40 @@ def test_results_in_grid_order():
 
 
 def test_parallel_matches_serial():
-    serial = run_grid(_grid(), ExecOptions(jobs=1))
+    # Big enough to clear _POOL_MIN_UNITS so the pool genuinely runs.
+    n = runner_module._POOL_MIN_UNITS + 2
+    serial = run_grid(_grid(n), ExecOptions(jobs=1))
     for jobs in (2, 4):
-        assert run_grid(_grid(), ExecOptions(jobs=jobs)) == serial
+        assert run_grid(_grid(n), ExecOptions(jobs=jobs)) == serial
+
+
+def test_small_grid_short_circuits_pool(monkeypatch):
+    """Below the spawn-cost threshold, --jobs runs in-process (and still
+    merges identically)."""
+
+    def _no_pool(*args, **kwargs):
+        raise AssertionError("process pool spawned for a sub-threshold grid")
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _no_pool)
+    n = runner_module._POOL_MIN_UNITS - 1
+    results = run_grid(_grid(n), ExecOptions(jobs=4))
+    assert results == run_grid(_grid(n), ExecOptions(jobs=1))
 
 
 def test_worker_exception_propagates():
-    grid = GridSpec("test")
-    grid.add(boom, x=3)
+    # One grid per path: the serial short-circuit and the pool must both
+    # re-raise a failing unit's exception.
+    small = GridSpec("test")
+    small.add(boom, x=3)
     with pytest.raises(RuntimeError, match="unit 3 failed"):
-        run_grid(grid, ExecOptions(jobs=2))
+        run_grid(small, ExecOptions(jobs=2))
+
+    big = GridSpec("test")
+    for x in range(runner_module._POOL_MIN_UNITS + 1):
+        big.add(square, x=x)
+    big.add(boom, x=3)
+    with pytest.raises(RuntimeError, match="unit 3 failed"):
+        run_grid(big, ExecOptions(jobs=2))
 
 
 def test_jobs_validated():

@@ -1,0 +1,219 @@
+"""Heap vs calendar-queue scheduler: event-order identity.
+
+The calendar queue is only admissible because it dispatches *exactly* the
+sequence the binary heap would: ascending ``(time, seq)``, where ``seq``
+preserves FIFO order among events triggered at the same instant.  These
+tests run identical randomised schedules — including same-instant ties and
+callback chains that schedule more work mid-flight — under
+``scheduler="heap"``, ``"wheel"`` and ``"auto"`` and require the observed
+``(time, label)`` logs to be equal element for element.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation import Simulator
+from repro.simulation.core import _WHEEL_OFF, _WHEEL_ON, CalendarQueue
+
+
+def _run_schedule(seed: int, scheduler: str):
+    """Replay a seeded random workload; return the dispatch log.
+
+    The workload mixes duplicate fire times (FIFO ties), sub-day spacing
+    (events landing in one calendar bucket), multi-day gaps (bucket
+    advances), and callbacks that schedule further timeouts — the pattern
+    that would expose any ordering drift between the two queue backends.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(scheduler=scheduler)
+    log = []
+
+    def record(label):
+        def _cb(event):
+            log.append((sim.now, label))
+
+        return _cb
+
+    def chain(label, depth):
+        def _cb(event):
+            log.append((sim.now, label))
+            if depth > 0:
+                # Re-schedule from inside a callback, including zero-delay
+                # (same-instant) follow-ups.
+                delay = rng.choice([0.0, 0.0, 0.00007, 0.5])
+                t = sim.timeout(delay)
+                t.add_callback(chain(f"{label}+", depth - 1))
+
+        return _cb
+
+    delays = [0.0, 0.0001, 0.0001, 0.003, 0.25, 1.0, 1.0, 7.5]
+    for i in range(200):
+        delay = rng.choice(delays)
+        t = sim.timeout(delay)
+        if rng.random() < 0.2:
+            t.add_callback(chain(f"c{i}", rng.randint(1, 3)))
+        else:
+            t.add_callback(record(f"e{i}"))
+    sim.run()
+    return log
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_heap_wheel_auto_dispatch_identical(seed):
+    heap = _run_schedule(seed, "heap")
+    wheel = _run_schedule(seed, "wheel")
+    auto = _run_schedule(seed, "auto")
+    assert heap == wheel  # exact: same times, same order, same labels
+    assert heap == auto
+
+
+def test_same_instant_ties_fifo_both_backends():
+    for scheduler in ("heap", "wheel"):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        for i in range(50):
+            sim.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        sim.run()
+        assert order == list(range(50)), scheduler
+
+
+def test_auto_promotes_and_demotes_across_thresholds():
+    sim = Simulator()  # auto
+    assert sim.active_scheduler == "heap"
+    fired = []
+    for i in range(_WHEEL_ON + 50):
+        sim.timeout(1.0 + 0.001 * i).add_callback(lambda e: fired.append(sim.now))
+    # Crossing _WHEEL_ON promoted the pending set onto the wheel.
+    assert sim.active_scheduler == "wheel"
+    assert sim.pending == _WHEEL_ON + 50
+    sim.run()
+    # Draining below _WHEEL_OFF handed the remainder back to the heap.
+    assert sim.active_scheduler == "heap"
+    assert sim.scheduler_switches >= 2
+    assert len(fired) == _WHEEL_ON + 50
+    assert fired == sorted(fired)
+    assert _WHEEL_OFF < _WHEEL_ON  # hysteresis band is real
+
+
+def test_forced_heap_never_switches():
+    sim = Simulator(scheduler="heap")
+    for i in range(_WHEEL_ON + 10):
+        sim.timeout(float(i % 7)).add_callback(lambda e: None)
+    assert sim.active_scheduler == "heap"
+    sim.run()
+    assert sim.scheduler_switches == 0
+
+
+def test_forced_wheel_never_switches():
+    sim = Simulator(scheduler="wheel")
+    assert sim.active_scheduler == "wheel"
+    for i in range(10):
+        sim.timeout(float(i)).add_callback(lambda e: None)
+    sim.run()
+    assert sim.active_scheduler == "wheel"
+    assert sim.scheduler_switches == 0
+
+
+def test_invalid_scheduler_rejected():
+    with pytest.raises(ValueError, match="scheduler"):
+        Simulator(scheduler="fifo")
+
+
+# -- REPRO_SCHEDULER env hatch ------------------------------------------------------
+
+
+def test_env_hatch_forces_wheel(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "wheel")
+    sim = Simulator(scheduler="heap")  # env wins over the constructor
+    assert sim.active_scheduler == "wheel"
+
+
+def test_env_hatch_forces_heap(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+    sim = Simulator(scheduler="wheel")
+    assert sim.active_scheduler == "heap"
+    for i in range(_WHEEL_ON + 10):
+        sim.timeout(1.0).add_callback(lambda e: None)
+    assert sim.active_scheduler == "heap"  # forced: no adaptive promotion
+
+
+def test_env_hatch_neutral_values_defer(monkeypatch):
+    for value in ("", "0", "auto"):
+        monkeypatch.setenv("REPRO_SCHEDULER", value)
+        assert Simulator(scheduler="wheel").active_scheduler == "wheel"
+        assert Simulator().active_scheduler == "heap"
+
+
+def test_env_hatch_invalid_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "quantum")
+    with pytest.raises(ValueError, match="REPRO_SCHEDULER"):
+        Simulator()
+
+
+# -- CalendarQueue unit behaviour ---------------------------------------------------
+
+
+def test_calendar_queue_orders_like_a_heap():
+    rng = random.Random(11)
+    cq = CalendarQueue()
+    entries = []
+    for seq in range(500):
+        t = rng.choice([0.0, 0.5, 0.5, 3.25, 3.25, 100.0, 4096.5])
+        entries.append((t, seq, None))
+    for entry in entries:
+        cq.push(entry)
+    assert len(cq) == 500
+    popped = [cq.pop() for _ in range(500)]
+    assert popped == sorted(entries)
+    assert len(cq) == 0
+
+
+def test_calendar_queue_interleaved_push_pop():
+    cq = CalendarQueue()
+    cq.push((1.0, 0, "a"))
+    cq.push((1.0, 1, "b"))
+    assert cq.peek() == 1.0
+    assert cq.pop() == (1.0, 0, "a")
+    # Pushing at the current instant after popping lands *after* what was
+    # already consumed (seq is monotone) — the simulator's only push-into-
+    # the-current-day pattern.
+    cq.push((1.0, 2, "c"))
+    cq.push((250.0, 3, "d"))
+    assert cq.pop() == (1.0, 1, "b")
+    assert cq.pop() == (1.0, 2, "c")
+    assert cq.pop() == (250.0, 3, "d")
+
+
+def test_calendar_queue_infinite_times():
+    cq = CalendarQueue()
+    cq.push((math.inf, 0, "end"))
+    cq.push((2.0, 1, "x"))
+    assert cq.peek() == 2.0
+    assert cq.pop() == (2.0, 1, "x")
+    assert cq.peek() == math.inf
+    assert cq.pop() == (math.inf, 0, "end")
+
+
+def test_calendar_queue_empty_behaviour():
+    cq = CalendarQueue()
+    assert len(cq) == 0
+    assert cq.peek() == math.inf
+    with pytest.raises(IndexError):
+        cq.pop()
+
+
+def test_calendar_queue_drain_returns_everything():
+    cq = CalendarQueue()
+    entries = [(float(i % 5), i, None) for i in range(40)]
+    for entry in entries:
+        cq.push(entry)
+    cq.pop()  # a consumed prefix must not reappear in the drain
+    drained = cq.drain()
+    assert sorted(drained) == sorted(entries)[1:]
+    assert len(cq) == 0
