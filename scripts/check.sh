@@ -29,3 +29,6 @@ PYTHONPATH=src python -m pytest -x -q "$@"
 
 echo "== scheduler/aggregation identity: heap vs wheel vs flat solver =="
 PYTHONPATH=src python scripts/check_scheduler_identity.py --scale ci
+
+echo "== backend identity: daos path byte-identical to golden results =="
+PYTHONPATH=src python scripts/check_backend_identity.py --jobs 2

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Machine-check: the DAOS default path reproduces the golden results.
+
+The storage-backend refactor (the ``StorageBackend`` protocol and the
+posixfs backend) must leave the DAOS path *byte-identical*: every
+experiment report in the committed golden results file must be reproduced
+exactly when run with ``backend="daos"``.  This script parses the golden
+file, re-runs every experiment it contains at the recorded scale/seed
+through :func:`repro.experiments.registry.run_experiment` with the backend
+argument spelled out, and fails on the first differing byte.
+
+Reproducibility headers (``# ...``) and wall-time lines (``[name: 1.2s
+wall]``) are execution metadata, not results, and are excluded — exactly
+the lines the CLI tests exclude.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_backend_identity.py
+        [--golden experiment_results_ci.txt] [--scale ci|paper]
+        [--seed 0] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import re
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import ExecOptions, exec_options
+
+#: Execution-metadata lines excluded from the comparison.
+_WALL_LINE = re.compile(r"^\[\w+: [0-9.]+s wall\]$")
+
+
+def _sections(text: str) -> Dict[str, List[str]]:
+    """Split a results file into per-experiment report bodies."""
+    sections: Dict[str, List[str]] = {}
+    current = None
+    for line in text.splitlines():
+        if line.startswith("# ") or _WALL_LINE.match(line) or not line:
+            continue
+        if line.startswith("== "):
+            current = line[3:].split(":", 1)[0]
+            sections[current] = []
+        if current is None:
+            raise SystemExit(f"golden file has report text before any '== ': {line!r}")
+        sections[current].append(line)
+    return sections
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--golden", type=Path, default=Path("experiment_results_ci.txt")
+    )
+    parser.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    golden = _sections(args.golden.read_text())
+    if not golden:
+        print(f"error: no experiment sections in {args.golden}", file=sys.stderr)
+        return 2
+
+    failures = []
+    options = ExecOptions(jobs=args.jobs)
+    with exec_options(options):
+        for name, expected in golden.items():
+            start = time.time()
+            result = run_experiment(
+                name, scale=args.scale, seed=args.seed, backend="daos"
+            )
+            actual = [
+                line for line in result.render().splitlines()
+                if line and not line.startswith("# ") and not _WALL_LINE.match(line)
+            ]
+            wall = time.time() - start
+            if actual == expected:
+                print(f"ok   {name:16s} {wall:6.1f}s  ({len(actual)} lines)")
+            else:
+                failures.append(name)
+                print(f"FAIL {name}: daos backend differs from golden")
+                diff = difflib.unified_diff(
+                    expected, actual, fromfile="golden", tofile="daos", lineterm="",
+                )
+                for line in list(diff)[:40]:
+                    print(f"     {line}")
+
+    if failures:
+        print(f"\n{len(failures)} experiment(s) differ from {args.golden}: {failures}")
+        return 1
+    print(f"\nall {len(golden)} golden experiments byte-identical on the daos backend")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Pluggable storage backends behind one client/system protocol.
+
+The simulation originally hard-wired :class:`~repro.daos.client.DaosClient`
+into every bench, workload, and experiment.  This package lifts the implied
+interface into an explicit protocol (:mod:`repro.backends.protocol`) and a
+tiny registry (:mod:`repro.backends.registry`), so a second storage model —
+the Lustre-style shared POSIX file system in :mod:`repro.posixfs` — can run
+the exact same workloads for A/B comparison (arXiv 2211.09162).
+"""
+
+from repro.backends.protocol import StorageClient, StorageSystem
+from repro.backends.registry import BACKENDS, build_deployment, build_system
+
+__all__ = [
+    "BACKENDS",
+    "StorageClient",
+    "StorageSystem",
+    "build_deployment",
+    "build_system",
+]

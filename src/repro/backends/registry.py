@@ -1,0 +1,41 @@
+"""Backend registry: name -> :class:`~repro.backends.protocol.StorageSystem`.
+
+Imports are lazy so selecting the default backend never pays for (or
+depends on) the others.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config import ClusterConfig
+
+__all__ = ["BACKENDS", "build_system", "build_deployment"]
+
+#: Registered backend names, in CLI/choice order.
+BACKENDS: Tuple[str, ...] = ("daos", "posixfs")
+
+
+def build_system(cluster, backend: str = "daos"):
+    """Instantiate the storage system named ``backend`` over ``cluster``."""
+    if backend == "daos":
+        from repro.daos.system import DaosSystem
+
+        return DaosSystem(cluster)
+    if backend == "posixfs":
+        from repro.posixfs.system import PosixSystem
+
+        return PosixSystem(cluster)
+    raise ValueError(
+        f"unknown storage backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+def build_deployment(config: ClusterConfig, backend: str = "daos"):
+    """Cluster + storage system + default pool for one simulated deployment."""
+    from repro.hardware.topology import Cluster
+
+    cluster = Cluster(config)
+    system = build_system(cluster, backend)
+    pool = system.create_pool()
+    return cluster, system, pool

@@ -28,7 +28,6 @@ from typing import Dict, List
 from repro.bench.metrics import BandwidthSummary, summarise
 from repro.bench.timestamps import IoRecord, TimestampLog
 from repro.config import ClusterConfig
-from repro.daos.client import DaosClient
 from repro.daos.errors import SimulatedFaultError
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
 from repro.daos.rpc import OpStats, merge_op_stats
@@ -132,7 +131,7 @@ def _check_known_bugs(cluster: Cluster, params: FieldIOBenchParams, pattern: str
 def _make_fieldio(
     system: DaosSystem, pool, address, params: FieldIOBenchParams
 ) -> FieldIO:
-    client = DaosClient(system, address)
+    client = system.make_client(address)
     return FieldIO(
         client,
         pool,
@@ -144,7 +143,7 @@ def _make_fieldio(
 
 
 def _bootstrap(cluster: Cluster, system: DaosSystem, pool) -> None:
-    client = DaosClient(system, cluster.client_addresses(1)[0])
+    client = system.make_client(cluster.client_addresses(1)[0])
     process = cluster.sim.process(FieldIO.bootstrap(client, pool))
     cluster.sim.run(until=process)
 

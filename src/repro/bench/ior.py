@@ -22,8 +22,8 @@ from typing import Dict
 from repro.bench.metrics import BandwidthSummary, summarise
 from repro.bench.sync import Barrier
 from repro.bench.timestamps import IoRecord, TimestampLog
+from repro.backends.protocol import StorageClient
 from repro.config import ClusterConfig
-from repro.daos.client import DaosClient
 from repro.daos.objclass import OC_S1, ObjectClass
 from repro.daos.oid import ObjectId
 from repro.daos.payload import PatternPayload
@@ -83,7 +83,7 @@ class IorResult:
 
 
 def _ior_process(
-    client: DaosClient,
+    client: StorageClient,
     pool,
     container,
     rank: int,
@@ -162,7 +162,7 @@ def _run_phase(
     }
     processes = []
     for rank, address in enumerate(addresses):
-        client = DaosClient(system, address)
+        client = system.make_client(address)
         node = rank // params.processes_per_node
         processes.append(
             cluster.sim.process(
@@ -190,7 +190,7 @@ def run_ior(
     write phase completes and before the read phase starts — e.g. to reset
     telemetry so each phase is sampled separately.
     """
-    setup_client = DaosClient(system, cluster.client_addresses(1)[0])
+    setup_client = system.make_client(cluster.client_addresses(1)[0])
     container_process = cluster.sim.process(
         setup_client.container_create(pool, label=container_label, is_default=True)
     )

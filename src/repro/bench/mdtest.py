@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.bench.sync import Barrier
-from repro.daos.client import DaosClient
 from repro.daos.dfs import Dfs
 from repro.daos.payload import PatternPayload
 from repro.daos.system import DaosSystem
@@ -131,12 +130,12 @@ def run_mdtest(cluster: Cluster, system: DaosSystem, pool, params: MdtestParams)
         )
     }
 
-    mount_client = DaosClient(system, addresses[0])
+    mount_client = system.make_client(addresses[0])
     cluster.sim.run(until=cluster.sim.process(Dfs.mount(mount_client, pool)))
 
     processes = []
     for rank, address in enumerate(addresses):
-        client = DaosClient(system, address)
+        client = system.make_client(address)
         dfs_process = cluster.sim.process(Dfs.mount(client, pool))
         dfs = cluster.sim.run(until=dfs_process)
         processes.append(

@@ -37,18 +37,24 @@ __all__ = [
 T = TypeVar("T")
 
 
-def build_deployment(config: ClusterConfig) -> Tuple[Cluster, DaosSystem, object]:
-    """Assemble a fresh cluster + DAOS system + pool for one run."""
-    cluster = Cluster(config)
-    system = DaosSystem(cluster)
-    pool = system.create_pool()
-    return cluster, system, pool
+def build_deployment(
+    config: ClusterConfig, backend: str = "daos"
+) -> Tuple[Cluster, DaosSystem, object]:
+    """Assemble a fresh cluster + storage system + pool for one run.
+
+    ``backend`` selects the storage model from :mod:`repro.backends`; the
+    default keeps the historical DAOS deployment bit for bit.
+    """
+    from repro.backends.registry import build_deployment as _build
+
+    return _build(config, backend=backend)
 
 
 def run_repetitions(
     config: ClusterConfig,
     run_once: Callable[[Cluster, DaosSystem, object], T],
     repetitions: int = 3,
+    backend: str = "daos",
 ) -> List[T]:
     """Run a benchmark ``repetitions`` times on fresh deployments.
 
@@ -61,7 +67,7 @@ def run_repetitions(
     results: List[T] = []
     for repetition in range(repetitions):
         rep_config = replace(config, seed=config.seed + repetition)
-        cluster, system, pool = build_deployment(rep_config)
+        cluster, system, pool = build_deployment(rep_config, backend=backend)
         results.append(run_once(cluster, system, pool))
     return results
 

@@ -20,7 +20,8 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.backends.registry import BACKENDS
+from repro.experiments.registry import EXPERIMENTS, run_experiment, supports_backend
 
 __all__ = ["main"]
 
@@ -89,6 +90,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="run the full parameter grids of the paper (slow)",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="daos",
+        help="storage backend to simulate (default: daos)",
+    )
     parser.add_argument(
         "--jobs",
         "-j",
@@ -194,9 +201,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         # The global tracer lives in this process: grid points computed by
         # pool workers or served from cache would silently escape it, so a
         # traced run is always serial and uncached.
-        print("note: --trace-out forces --jobs 1 --no-cache", file=sys.stderr)
+        print(
+            "warning: --trace-out forces serial, uncached execution "
+            "(--jobs 1 --no-cache)",
+            file=sys.stderr,
+        )
         args.jobs = 1
         args.no_cache = True
+    if args.backend != "daos":
+        unsupported = [n for n in names if not supports_backend(n, args.backend)]
+        if args.command == "run" and unsupported:
+            print(
+                f"error: experiment {unsupported[0]!r} supports only the "
+                f"daos backend",
+                file=sys.stderr,
+            )
+            return 2
+        names = [n for n in names if n not in unsupported]
+    else:
+        unsupported = []
     cache = None if args.no_cache else open_cache(args.cache_dir)
     options = ExecOptions(
         jobs=args.jobs, cache=cache, progress=sys.stderr.isatty()
@@ -205,6 +228,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     # the exact execution settings they were produced with.
     print(f"# experiments: {' '.join(names)}")
     print(f"# scale: {scale}  seed: {args.seed}  jobs: {args.jobs}")
+    if args.backend != "daos":
+        # Conditional so DAOS-default results files stay byte-identical.
+        print(f"# backend: {args.backend}")
+        for name in unsupported:
+            print(f"# skipped (daos-only): {name}")
     cache_desc = "disabled" if cache is None else str(cache.root)
     print(f"# cache: {cache_desc}  salt: {SIMULATOR_VERSION_SALT}")
     print()
@@ -221,7 +249,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         with exec_options(options):
             for name in names:
                 start = time.time()
-                result = run_experiment(name, scale=scale, seed=args.seed)
+                result = run_experiment(
+                    name, scale=scale, seed=args.seed, backend=args.backend
+                )
                 print(result.render())
                 print(f"[{name}: {time.time() - start:.1f}s wall]")
                 print()

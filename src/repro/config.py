@@ -290,6 +290,12 @@ class DaosServiceConfig:
     #: Keys returned per ``daos_kv_list`` RPC round-trip (libdaos default
     #: anchor/page granularity); ``kv_list`` charges one get-service per page.
     kv_list_page_size: int = 128
+    #: KV values at least this large move as a bulk fabric flow to/from the
+    #: dkey target, like a libdaos value above the inline-RPC threshold.
+    #: ``None`` (default) keeps values inline, bit-identical to the original
+    #: KV model; the ``interfaces`` experiment sets it so the pydaos-style
+    #: whole-field-in-KV path pays honest bandwidth (arXiv 2311.18714).
+    kv_bulk_threshold: Optional[int] = None
     #: Array open/create/close/punch service times.
     array_create_service_time: float = 30 * USEC
     array_open_service_time: float = 20 * USEC

@@ -490,7 +490,29 @@ class DaosClient:
             return up
         return candidates
 
+    def _kv_bulk(self, target_index: int, nbytes: int, write: bool):
+        """Bulk flow for an over-threshold KV value (no extra target service)."""
+        engine = self.system.engine_of_target(target_index)
+        if write:
+            path = self.fabric.write_path(self.address, engine)
+        else:
+            path = self.fabric.read_path(self.address, engine)
+        yield self.net.transfer(
+            path,
+            nbytes,
+            rate_cap=self.provider.per_flow_cap,
+            name=f"{'kw' if write else 'kr'}:{target_index}",
+        )
+
+    def _kv_bulk_size(self, value: Optional[bytes]) -> int:
+        """Value size when it crosses the bulk threshold, else 0 (inline)."""
+        threshold = self.config.kv_bulk_threshold
+        if threshold is None or value is None or len(value) < threshold:
+            return 0
+        return len(value)
+
     def _do_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
+        bulk = self._kv_bulk_size(value)
         yield self._latency()
         yield kv.lock.acquire_write()
         try:
@@ -498,6 +520,10 @@ class DaosClient:
                 yield from self._target_service(
                     target, self.config.kv_put_service_time
                 )
+                if bulk:
+                    # The bulk RDMA happens inside the update's serialisation
+                    # window (the server pulls the value before it commits).
+                    yield from self._kv_bulk(target, bulk, write=True)
             kv.put(key, value)
         finally:
             kv.lock.release_write()
@@ -537,6 +563,11 @@ class DaosClient:
             value = kv.get_or_none(key)
         finally:
             kv.lock.release_write()
+        bulk = self._kv_bulk_size(value)
+        if bulk:
+            # Fetch bulk streams back after the dkey-tree descent released
+            # the serialisation point — concurrent readers overlap here.
+            yield from self._kv_bulk(self._key_target(kv, key), bulk, write=False)
         yield self._latency()
         return value
 

@@ -6,7 +6,7 @@ The paper motivates domain-agnostic object stores partly because they
 reproduces its essential design: a container holds a filesystem whose
 directories are Key-Value objects mapping entry names to OIDs and whose
 files are Array objects.  All operations ride the timed
-:class:`~repro.daos.client.DaosClient`, so DFS workloads exercise exactly
+:class:`~repro.backends.protocol.StorageClient`, so DFS workloads exercise
 the same metadata and data paths as the weather-field store.
 
 Paths are POSIX-style absolute strings (``"/fc/t850.grib"``).  The layer is
@@ -20,7 +20,7 @@ import posixpath
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.daos.client import DaosClient
+from repro.backends.protocol import StorageClient
 from repro.daos.container import Container
 from repro.daos.errors import DaosError, InvalidArgumentError
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
@@ -96,7 +96,7 @@ class Dfs:
 
     def __init__(
         self,
-        client: DaosClient,
+        client: StorageClient,
         pool: Pool,
         container: Container,
         dir_oclass: ObjectClass = OC_SX,
@@ -110,7 +110,7 @@ class Dfs:
 
     # -- bootstrap ---------------------------------------------------------------
     @staticmethod
-    def mount(client: DaosClient, pool: Pool, label: str = "dfs"):
+    def mount(client: StorageClient, pool: Pool, label: str = "dfs"):
         """Open (creating if needed) the filesystem container and root dir."""
         from repro.daos.errors import ContainerExistsError
 

@@ -1,8 +1,15 @@
-"""DAOS error hierarchy.
+"""Storage error hierarchy, shared by every backend.
 
 Mirrors the DER_* error space of the real DAOS client library closely enough
 for the field I/O layer to make the same control-flow decisions (e.g. create
 races resolving via "already exists", lookups failing via "nonexistent").
+
+The hierarchy is deliberately backend-agnostic: POSIX-model failures map
+onto the same tree (lock timeout and MDS overload are
+:class:`SimulatedFaultError` subclasses the retry middleware already
+handles; a full OST surfaces as :class:`NoSpaceError`, exactly like an
+exhausted SCM pool), so ``FieldIO`` and the benchmarks never branch on the
+backend in their error paths.
 """
 
 from __future__ import annotations
@@ -16,6 +23,8 @@ __all__ = [
     "NoSpaceError",
     "InvalidArgumentError",
     "SimulatedFaultError",
+    "LockTimeoutError",
+    "MetadataOverloadError",
     "TargetDownError",
 ]
 
@@ -70,6 +79,28 @@ class SimulatedFaultError(DaosError):
     """Injected fault reproducing an instability the paper reports (§7)."""
 
     code = -1026
+
+
+class LockTimeoutError(SimulatedFaultError):
+    """Distributed lock request timed out under contention.
+
+    Raised by the posixfs backend when an extent/flock request joins a
+    conflict queue that already exceeds the configured depth — the Lustre
+    LDLM ``-ETIMEDOUT``/evicted-client failure mode.  Subclassing
+    :class:`SimulatedFaultError` keeps the taxonomy backend-agnostic: the
+    standard retry middleware backs off and re-requests, so ``FieldIO`` and
+    the benches need no backend branching.
+    """
+
+
+class MetadataOverloadError(SimulatedFaultError):
+    """Metadata server request queue overflowed (server overload).
+
+    The posixfs analogue of a Lustre MDS dropping/abandoning requests under
+    load (client sees ``-ENODEV``/timeout and retries).  Mapped onto
+    :class:`SimulatedFaultError` so the existing retry-with-backoff
+    middleware handles it identically to an injected RPC fault.
+    """
 
 
 class TargetDownError(DaosError):

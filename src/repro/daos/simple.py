@@ -14,24 +14,33 @@ from __future__ import annotations
 from typing import Iterator, List, Optional
 
 from repro.config import ClusterConfig
-from repro.daos.client import DaosClient
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
 from repro.daos.payload import BytesPayload, Payload
-from repro.daos.system import DaosSystem
-from repro.hardware.topology import Cluster
 
 __all__ = ["SimpleDaos", "DDict", "DArray"]
 
 
 class SimpleDaos:
-    """A self-contained simulated DAOS deployment with blocking helpers."""
+    """A self-contained simulated deployment with blocking helpers.
 
-    def __init__(self, config: Optional[ClusterConfig] = None, container: str = "pydaos"):
+    ``backend`` selects the storage model (:mod:`repro.backends`): the same
+    dictionary/array ergonomics work over the posixfs backend, where a
+    ``DDict`` becomes a directory of small files.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        container: str = "pydaos",
+        backend: str = "daos",
+    ):
+        from repro.backends.registry import build_deployment
+
         self.config = config or ClusterConfig()
-        self.cluster = Cluster(self.config)
-        self.system = DaosSystem(self.cluster)
-        self.pool = self.system.create_pool()
-        self.client = DaosClient(self.system, self.cluster.client_addresses(1)[0])
+        self.cluster, self.system, self.pool = build_deployment(
+            self.config, backend=backend
+        )
+        self.client = self.system.make_client(self.cluster.client_addresses(1)[0])
         self.container = self._run(
             self.client.container_create(self.pool, label=container, is_default=True)
         )

@@ -29,6 +29,9 @@ __all__ = ["DaosSystem"]
 class DaosSystem:
     """Engines, targets, pools, and the pool service of one deployment."""
 
+    #: Registry name of this storage backend (see :mod:`repro.backends`).
+    backend_name = "daos"
+
     def __init__(self, cluster: Cluster) -> None:
         self.cluster = cluster
         self.config = cluster.config.daos
@@ -62,6 +65,19 @@ class DaosSystem:
             self.rebuild = RebuildService(self)
             if health.arm_at_start and health.events:
                 self.arm_failure_schedule()
+
+    # -- clients ------------------------------------------------------------------
+    def make_client(self, address: NodeSocket, middleware=None):
+        """A per-process client bound to ``address`` for this backend.
+
+        The factory is the only place consumers need a concrete client
+        class; everything downstream talks the ``StorageClient`` protocol
+        (:mod:`repro.backends.protocol`), which is what lets a posixfs
+        deployment slot in behind the same benches and ``FieldIO``.
+        """
+        from repro.daos.client import DaosClient
+
+        return DaosClient(self, address, middleware=middleware)
 
     # -- health -------------------------------------------------------------------
     def arm_failure_schedule(self) -> None:

@@ -24,7 +24,7 @@ from repro.bench.runner import mean
 from repro.daos.rpc import OpStats, merge_op_stats
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import fieldio_point
+from repro.experiments.units import backend_kwargs, fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -33,7 +33,8 @@ __all__ = ["run"]
 TITLE = "Ablation: pipelined (async) Field I/O writes vs blocking, pattern A full mode"
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         server_counts, ppn, n_ops, repetitions = [1, 2, 4, 8], 24, 400, 3
     else:
@@ -57,6 +58,7 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                     seed=seed + rep,
                     async_io=async_io,
                     want_rpc_stats=True,
+                    **backend_kwargs(backend),
                 )
     points = iter(run_grid(grid))
 

@@ -13,7 +13,7 @@ from typing import Dict, List
 from repro.bench.runner import mean
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import ior_point
+from repro.experiments.units import backend_kwargs, ior_point
 from repro.units import MiB
 
 __all__ = ["run"]
@@ -23,7 +23,8 @@ TITLE = "IOR segments: synchronous bandwidth vs server nodes (pattern A)"
 _RATIOS = (("1x clients", 1), ("2x clients", 2))
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         server_counts = [1, 2, 4, 8, 10]
         ppns, repetitions, segments = [24, 48, 72, 96], 5, 100
@@ -44,6 +45,7 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                         segments=segments,
                         segment_size=1 * MiB,
                         seed=seed + rep,
+                        **backend_kwargs(backend),
                     )
     points = iter(run_grid(grid))
 

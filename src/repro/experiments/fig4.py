@@ -15,7 +15,7 @@ from repro.bench.fieldio_bench import Contention
 from repro.bench.runner import mean
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import fieldio_point
+from repro.experiments.units import backend_kwargs, fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -35,6 +35,7 @@ def run_sweep(
     title: str,
     patterns: str = "AB",
     startup_skew: float = 0.1,
+    backend: str = "daos",
 ) -> ExperimentResult:
     """Shared sweep used by Fig 4 (high contention) and Fig 5 (low)."""
     grid = GridSpec(experiment)
@@ -54,6 +55,7 @@ def run_sweep(
                         startup_skew=startup_skew,
                         pattern=pattern,
                         seed=seed + rep,
+                        **backend_kwargs(backend),
                     )
     points = iter(run_grid(grid))
 
@@ -75,14 +77,15 @@ def run_sweep(
     return result
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         server_counts, ppn, n_ops, repetitions = [1, 2, 4, 8], 24, 400, 3
     else:
         server_counts, ppn, n_ops, repetitions = [1, 2, 4], 8, 60, 1
     result = run_sweep(
         Contention.HIGH, server_counts, ppn, n_ops, repetitions, seed,
-        experiment="fig4", title=TITLE,
+        experiment="fig4", title=TITLE, backend=backend,
     )
     result.notes.append(
         "paper: no-index scales ~2.5w/3.75r per engine; indexed modes bend "

@@ -18,14 +18,15 @@ __all__ = ["run"]
 TITLE = "Field I/O: global timing bandwidth vs server nodes, low contention"
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         server_counts, ppn, n_ops, repetitions = [1, 2, 4, 8, 12], 24, 400, 3
     else:
         server_counts, ppn, n_ops, repetitions = [1, 2, 4], 8, 60, 1
     result = run_sweep(
         Contention.LOW, server_counts, ppn, n_ops, repetitions, seed,
-        experiment="fig5", title=TITLE,
+        experiment="fig5", title=TITLE, backend=backend,
     )
     result.notes.append(
         "paper: pattern B no-containers ~2.75 GiB/s aggregated per engine "

@@ -16,7 +16,7 @@ from repro.bench.runner import mean
 from repro.daos.objclass import OC_S1, OC_S2, OC_SX, ObjectClass
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import fieldio_point
+from repro.experiments.units import backend_kwargs, fieldio_point
 from repro.fdb.modes import FieldIOMode
 from repro.units import MiB
 
@@ -27,7 +27,8 @@ TITLE = "Field I/O full mode: object class and size (2 server nodes)"
 _CLASSES: Tuple[ObjectClass, ...] = (OC_S1, OC_S2, OC_SX)
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     # The striping split (SX write / S2 read) is visible in the simulator
     # only sub-saturated: two client processes over two server nodes.  At
     # saturating process counts the per-engine hardware caps flatten the
@@ -61,6 +62,7 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                         # KV striping follows the sweep too ("striping all
                         # objects across all targets" is one of the settings).
                         kv_oclass=(oclass if oclass is OC_SX else OC_SX).name,
+                        **backend_kwargs(backend),
                     )
     points = iter(run_grid(grid))
 

@@ -14,7 +14,7 @@ from repro.bench.runner import mean
 from repro.config import PSM2_PROVIDER, TCP_PROVIDER
 from repro.experiments.common import ExperimentResult, Scale, Series
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import ior_point
+from repro.experiments.units import backend_kwargs, ior_point
 from repro.units import MiB
 
 __all__ = ["run"]
@@ -22,7 +22,8 @@ __all__ = ["run"]
 TITLE = "IOR segments, 4 servers (single rail): TCP vs PSM2"
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         client_counts = [1, 2, 4, 8, 12, 16]
         ppns, repetitions, segments = [4, 8, 12, 24], 3, 100
@@ -46,6 +47,7 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                         engines_per_server=1,
                         client_sockets=1,
                         provider=provider.name,
+                        **backend_kwargs(backend),
                     )
     points = iter(run_grid(grid))
 

@@ -24,10 +24,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.backends.protocol import StorageClient
 from repro.bench.report import format_rpc_breakdown
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, DaosServiceConfig, HealthConfig
-from repro.daos.client import DaosClient
 from repro.daos.health import seeded_failure_schedule
 from repro.daos.objclass import (
     OC_RP_2G1,
@@ -70,12 +70,12 @@ def _phase(cluster, system, pool, oclass: ObjectClass, op: str, n_ops: int,
     """Run one write or read phase across all client processes."""
     sim = cluster.sim
     addresses = cluster.client_addresses(ppn)
-    clients: List[DaosClient] = []
+    clients: List[StorageClient] = []
     processes = []
     start = sim.now
     for rank, address in enumerate(addresses):
         fieldio = FieldIO(
-            DaosClient(system, address),
+            system.make_client(address),
             pool,
             mode=FieldIOMode.FULL,
             kv_oclass=oclass,
@@ -104,7 +104,7 @@ def _round(config: ClusterConfig, oclass: ObjectClass, n_ops: int,
     """One full write-then-read round; ``arm`` starts the failure schedule
     between the phases, so the engine loss lands mid-read."""
     cluster, system, pool = build_deployment(config)
-    boot = DaosClient(system, cluster.client_addresses(1)[0])
+    boot = system.make_client(cluster.client_addresses(1)[0])
     process = cluster.sim.process(FieldIO.bootstrap(boot, pool))
     cluster.sim.run(until=process)
     _phase(cluster, system, pool, oclass, "write", n_ops, field_size, ppn)

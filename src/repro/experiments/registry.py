@@ -6,18 +6,26 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     ablation_async,
+    backend_compare,
     fig3,
     fig4,
     fig5,
     fig6,
     fig7,
+    interfaces,
     rebuild,
     table1,
     table2,
 )
 from repro.experiments.common import ExperimentResult, Scale
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "DAOS_ONLY",
+    "get_experiment",
+    "supports_backend",
+    "run_experiment",
+]
 
 EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "table1": table1.run,
@@ -29,7 +37,13 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "fig7": fig7.run,
     "ablation_async": ablation_async.run,
     "rebuild": rebuild.run,
+    "backend_compare": backend_compare.run,
+    "interfaces": interfaces.run,
 }
+
+#: Experiments tied to DAOS-only machinery (health schedules, pool-map
+#: refresh, rebuild) that have no posixfs counterpart.
+DAOS_ONLY = frozenset({"rebuild"})
 
 
 def get_experiment(name: str) -> Callable[[Scale, int], ExperimentResult]:
@@ -41,6 +55,25 @@ def get_experiment(name: str) -> Callable[[Scale, int], ExperimentResult]:
         ) from None
 
 
-def run_experiment(name: str, scale: str = "ci", seed: int = 0) -> ExperimentResult:
-    """Run one experiment by id at the requested scale."""
-    return get_experiment(name)(Scale.of(scale), seed)
+def supports_backend(name: str, backend: str) -> bool:
+    """Whether an experiment can run on the given storage backend."""
+    return backend == "daos" or name.lower() not in DAOS_ONLY
+
+
+def run_experiment(
+    name: str, scale: str = "ci", seed: int = 0, backend: str = "daos"
+) -> ExperimentResult:
+    """Run one experiment by id at the requested scale.
+
+    The default backend takes the exact legacy call path — no extra kwarg —
+    so DAOS runs stay byte-identical to the goldens.
+    """
+    fn = get_experiment(name)
+    if backend == "daos":
+        return fn(Scale.of(scale), seed)
+    if not supports_backend(name, backend):
+        raise ValueError(
+            f"experiment {name!r} supports only the daos backend "
+            f"(got {backend!r})"
+        )
+    return fn(Scale.of(scale), seed, backend=backend)

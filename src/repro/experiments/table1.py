@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.experiments.common import ExperimentResult, Scale
 from repro.experiments.runner import GridSpec, run_grid
-from repro.experiments.units import ior_point
+from repro.experiments.units import backend_kwargs, ior_point
 from repro.units import GiB, MiB
 
 __all__ = ["run"]
@@ -36,7 +36,8 @@ _COMBOS = (
 )
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
     if scale.is_paper:
         ppns, repetitions, segments = [24, 48, 72, 96], 9, 100
     else:
@@ -57,6 +58,7 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                         seed=seed + rep,
                         engines_per_server=combo.engines,
                         client_sockets=combo.client_sockets,
+                        **backend_kwargs(backend),
                     )
     points = iter(run_grid(grid))
 

@@ -28,7 +28,11 @@ _ROWS = (
 )
 
 
-def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = Scale.of("ci"), seed: int = 0,
+        backend: str = "daos") -> ExperimentResult:
+    # Pure fabric measurement — no storage system is assembled, so the
+    # backend choice is accepted for registry uniformity and ignored.
+    del backend
     if scale.is_paper:
         sizes = tuple(s * MiB for s in (1, 2, 4, 8, 16, 32))
         messages = 64

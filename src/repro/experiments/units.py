@@ -15,6 +15,7 @@ loops consumed (``summary.write_sync``, ``summary.write_global or 0.0``,
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
 from repro.bench.fieldio_bench import (
@@ -23,14 +24,25 @@ from repro.bench.fieldio_bench import (
     run_fieldio_pattern_a,
     run_fieldio_pattern_b,
 )
+from repro.bench.interface_bench import InterfaceBenchParams, run_interface_bench
 from repro.bench.ior import IorParams, run_ior
+from repro.bench.mdtest import MdtestParams, run_mdtest
 from repro.bench.mpi_p2p import sweep_transfer_sizes
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, PSM2_PROVIDER, TCP_PROVIDER
 from repro.daos.objclass import object_class_by_name
 from repro.fdb.modes import FieldIOMode
+from repro.units import KiB
 
-__all__ = ["provider_by_name", "ior_point", "fieldio_point", "mpi_point"]
+__all__ = [
+    "provider_by_name",
+    "backend_kwargs",
+    "ior_point",
+    "fieldio_point",
+    "mdtest_point",
+    "interface_point",
+    "mpi_point",
+]
 
 _PROVIDERS = {spec.name: spec for spec in (TCP_PROVIDER, PSM2_PROVIDER)}
 
@@ -45,6 +57,15 @@ def provider_by_name(name: str):
         ) from None
 
 
+def backend_kwargs(backend: str) -> Dict[str, str]:
+    """Grid kwargs selecting a storage backend.
+
+    Empty for the default so legacy cache fingerprints — and therefore the
+    golden results — are byte-for-byte untouched when running on DAOS.
+    """
+    return {} if backend == "daos" else {"backend": backend}
+
+
 def ior_point(
     *,
     servers: int,
@@ -56,6 +77,7 @@ def ior_point(
     engines_per_server: Optional[int] = None,
     client_sockets: Optional[int] = None,
     provider: Optional[str] = None,
+    backend: str = "daos",
 ) -> Dict[str, Any]:
     """One IOR-segments repetition (Table 1, Fig 3, Fig 7)."""
     config_kwargs: Dict[str, Any] = dict(
@@ -71,7 +93,7 @@ def ior_point(
     params = IorParams(
         segment_size=segment_size, segments=segments, processes_per_node=ppn
     )
-    cluster, system, pool = build_deployment(config)
+    cluster, system, pool = build_deployment(config, backend=backend)
     result = run_ior(cluster, system, pool, params)
     return {
         "write": result.summary.write_sync,
@@ -96,6 +118,7 @@ def fieldio_point(
     kv_oclass: Optional[str] = None,
     async_io: bool = False,
     want_rpc_stats: bool = False,
+    backend: str = "daos",
 ) -> Dict[str, Any]:
     """One Field I/O repetition (Figs 4-6, async ablation).
 
@@ -119,7 +142,7 @@ def fieldio_point(
         params_kwargs["kv_oclass"] = object_class_by_name(kv_oclass)
     params = FieldIOBenchParams(**params_kwargs)
     runner = run_fieldio_pattern_a if pattern == "A" else run_fieldio_pattern_b
-    cluster, system, pool = build_deployment(config)
+    cluster, system, pool = build_deployment(config, backend=backend)
     result = runner(cluster, system, pool, params)
     point: Dict[str, Any] = {
         "write": result.summary.write_global or 0.0,
@@ -131,6 +154,66 @@ def fieldio_point(
             op: stats.as_dict() for op, stats in result.rpc_stats.items()
         }
     return point
+
+
+def mdtest_point(
+    *,
+    servers: int,
+    clients: int,
+    ppn: int,
+    files: int,
+    file_size: int,
+    seed: int,
+    backend: str = "daos",
+) -> Dict[str, Any]:
+    """One mdtest repetition (backend_compare metadata-rate rows)."""
+    config = ClusterConfig(n_server_nodes=servers, n_client_nodes=clients, seed=seed)
+    params = MdtestParams(
+        processes_per_node=ppn, files_per_process=files, file_size=file_size
+    )
+    cluster, system, pool = build_deployment(config, backend=backend)
+    result = run_mdtest(cluster, system, pool, params)
+    return {
+        "create": result.create_rate,
+        "stat": result.stat_rate,
+        "remove": result.remove_rate,
+        "sim_time": cluster.sim.now,
+    }
+
+
+def interface_point(
+    *,
+    interface: str,
+    servers: int,
+    clients: int,
+    ppn: int,
+    n_ops: int,
+    field_size: int,
+    seed: int,
+    backend: str = "daos",
+) -> Dict[str, Any]:
+    """One interface-comparison repetition (interfaces experiment).
+
+    Whole-field values travel through the KV interface, so the deployment
+    enables bulk KV value transfers above 64 KiB (arXiv:2311.18714 measures
+    the pydaos dictionary path with real payloads); the tiny 40-byte Field
+    I/O index entries stay inline, below the threshold.
+    """
+    config = ClusterConfig(n_server_nodes=servers, n_client_nodes=clients, seed=seed)
+    config = replace(config, daos=replace(config.daos, kv_bulk_threshold=64 * KiB))
+    params = InterfaceBenchParams(
+        interface=interface,
+        n_ops=n_ops,
+        field_size=field_size,
+        processes_per_node=ppn,
+    )
+    cluster, system, pool = build_deployment(config, backend=backend)
+    result = run_interface_bench(cluster, system, pool, params)
+    return {
+        "write": result.summary.write_global or 0.0,
+        "read": result.summary.read_global or 0.0,
+        "sim_time": cluster.sim.now,
+    }
 
 
 def mpi_point(

@@ -9,7 +9,8 @@ converge (§4).  Overwrites allocate a *new* array and re-point the index —
 no read-modify-write, and de-referenced arrays are not deleted, by design.
 
 All methods are generators driven inside simulation processes, like the
-:class:`~repro.daos.client.DaosClient` they build on.
+:class:`~repro.backends.protocol.StorageClient` they build on — any
+storage backend implementing the protocol (DAOS or posixfs) works.
 """
 
 from __future__ import annotations
@@ -19,7 +20,7 @@ import uuid as uuid_module
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.daos.client import DaosClient
+from repro.backends.protocol import StorageClient
 from repro.daos.container import Container
 from repro.daos.eq import EventQueue
 from repro.daos.errors import ContainerExistsError, DaosError
@@ -113,7 +114,7 @@ class FieldIO:
 
     def __init__(
         self,
-        client: DaosClient,
+        client: StorageClient,
         pool: Pool,
         mode: FieldIOMode = FieldIOMode.FULL,
         schema: KeySchema = DEFAULT_SCHEMA,
@@ -135,7 +136,7 @@ class FieldIO:
 
     # -- bootstrap -----------------------------------------------------------------
     @staticmethod
-    def bootstrap(client: DaosClient, pool: Pool):
+    def bootstrap(client: StorageClient, pool: Pool):
         """Create the main container (run once per deployment, before I/O).
 
         Idempotent under races: a concurrent creator losing the race opens

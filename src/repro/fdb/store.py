@@ -12,16 +12,14 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.backends.registry import build_deployment
 from repro.config import ClusterConfig
-from repro.daos.client import DaosClient
 from repro.daos.objclass import OC_S1, OC_SX, ObjectClass
 from repro.daos.payload import BytesPayload, Payload
-from repro.daos.system import DaosSystem
 from repro.fdb.fieldio import FieldIO
 from repro.fdb.key import FieldKey
 from repro.fdb.modes import FieldIOMode
 from repro.fdb.schema import DEFAULT_SCHEMA, KeySchema
-from repro.hardware.topology import Cluster
 
 __all__ = ["FDB"]
 
@@ -36,6 +34,8 @@ class FDB:
         one client node).
     mode, schema, kv_oclass, array_oclass:
         Passed through to :class:`~repro.fdb.fieldio.FieldIO`.
+    backend:
+        Storage backend name (:mod:`repro.backends`); ``"daos"`` by default.
     """
 
     def __init__(
@@ -45,12 +45,13 @@ class FDB:
         schema: KeySchema = DEFAULT_SCHEMA,
         kv_oclass: ObjectClass = OC_SX,
         array_oclass: ObjectClass = OC_S1,
+        backend: str = "daos",
     ) -> None:
         self.config = config or ClusterConfig()
-        self.cluster = Cluster(self.config)
-        self.system = DaosSystem(self.cluster)
-        self.pool = self.system.create_pool()
-        self.client = DaosClient(self.system, self.cluster.client_addresses(1)[0])
+        self.cluster, self.system, self.pool = build_deployment(
+            self.config, backend=backend
+        )
+        self.client = self.system.make_client(self.cluster.client_addresses(1)[0])
         self.fieldio = FieldIO(
             self.client,
             self.pool,

@@ -1,0 +1,77 @@
+"""Service model of the Lustre-style POSIX backend.
+
+Constants are calibrated for *shape* against the DAOS-vs-Lustre comparison
+(arXiv 2211.09162) on the same simulated hardware: file-per-process POSIX
+I/O lands within striking distance of DAOS, while shared-file writes and
+metadata-heavy workloads hit the MDS ceiling and the lock-revocation
+collapse the paper reports.  MDS service times sit between DAOS's pool
+service (serial, 150-500 us collectives) and its per-target RPC costs:
+a Lustre MDS is threaded but still a single box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.units import USEC
+
+__all__ = ["PosixServiceConfig"]
+
+
+@dataclass(frozen=True)
+class PosixServiceConfig:
+    """Tunables of the posixfs backend (MDS + LDLM-style locking)."""
+
+    #: Concurrent request slots at the metadata server.  A real MDS runs
+    #: many service threads, but lock ordering on the namespace serialises
+    #: most of them; a small effective concurrency reproduces the measured
+    #: metadata-rate ceiling.
+    mds_service_threads: int = 4
+    #: MDS service times per namespace op.  create > unlink > open >
+    #: getattr, the ordering mdtest measures on Lustre.
+    mds_create_service: float = 150 * USEC
+    mds_open_service: float = 60 * USEC
+    mds_getattr_service: float = 40 * USEC
+    mds_update_service: float = 60 * USEC
+    mds_unlink_service: float = 120 * USEC
+    mds_close_service: float = 20 * USEC
+    #: LDLM enqueue service at the lock server (paid only on a client-cache
+    #: miss — Lustre clients cache granted locks until revoked).
+    ldlm_enqueue_service: float = 15 * USEC
+    #: Blocking-callback round trip charged per client whose cached lock a
+    #: conflicting acquire must revoke.
+    lock_callback_service: float = 30 * USEC
+    #: Conflict-queue churn charged per already-queued waiter when a write
+    #: lock is granted under contention: every waiter re-arms its request
+    #: against the new holder.  Per-op cost grows with the queue, so
+    #: shared-file aggregate bandwidth *declines* past the contention knee
+    #: instead of merely flattening — the collapse in the comparison paper.
+    lock_contention_service: float = 30 * USEC
+    #: Conflict-queue depth at which a lock request times out with
+    #: :class:`~repro.daos.errors.LockTimeoutError` (``None`` = never).
+    lock_queue_limit: Optional[int] = None
+    #: MDS request-queue depth at which a request is rejected with
+    #: :class:`~repro.daos.errors.MetadataOverloadError` (``None`` = never).
+    mds_overload_queue: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mds_service_threads < 1:
+            raise ValueError("mds_service_threads must be >= 1")
+        for name in (
+            "mds_create_service",
+            "mds_open_service",
+            "mds_getattr_service",
+            "mds_update_service",
+            "mds_unlink_service",
+            "mds_close_service",
+            "ldlm_enqueue_service",
+            "lock_callback_service",
+            "lock_contention_service",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.lock_queue_limit is not None and self.lock_queue_limit < 1:
+            raise ValueError("lock_queue_limit must be >= 1 or None")
+        if self.mds_overload_queue is not None and self.mds_overload_queue < 1:
+            raise ValueError("mds_overload_queue must be >= 1 or None")

@@ -23,7 +23,6 @@ from typing import Dict, List, Optional
 
 from repro.bench.metrics import global_timing_bandwidth
 from repro.bench.timestamps import IoRecord, TimestampLog
-from repro.daos.client import DaosClient
 from repro.daos.system import DaosSystem
 from repro.fdb.fieldio import FieldIO
 from repro.fdb.key import FieldKey
@@ -179,7 +178,7 @@ def run_pipeline(
         params.n_model_ranks + params.n_io_servers : total_procs
     ]
 
-    bootstrap = DaosClient(system, addresses[0])
+    bootstrap = system.make_client(addresses[0])
     cluster.sim.run(until=cluster.sim.process(FieldIO.bootstrap(bootstrap, pool)))
 
     keys: List[FieldKey] = list(forecast.field_keys())
@@ -212,7 +211,7 @@ def run_pipeline(
             )
         )
     for server_index in range(params.n_io_servers):
-        fieldio = FieldIO(DaosClient(system, server_addrs[server_index]), pool)
+        fieldio = FieldIO(system.make_client(server_addrs[server_index]), pool)
         processes.append(
             cluster.sim.process(
                 _io_server(
@@ -225,7 +224,7 @@ def run_pipeline(
         )
     base, extra = divmod(len(keys), params.n_readers)
     for reader_index in range(params.n_readers):
-        fieldio = FieldIO(DaosClient(system, reader_addrs[reader_index]), pool)
+        fieldio = FieldIO(system.make_client(reader_addrs[reader_index]), pool)
         expected = base + (1 if reader_index < extra else 0)
         processes.append(
             cluster.sim.process(

@@ -8,7 +8,7 @@ from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
 def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "ablation_async", "rebuild",
+        "ablation_async", "rebuild", "backend_compare", "interfaces",
     }
 
 

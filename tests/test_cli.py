@@ -68,3 +68,39 @@ def test_parallel_jobs_match_serial(tmp_path, capsys):
         if not line.startswith(("#", "["))
     ]
     assert strip(parallel) == strip(serial)
+
+
+def test_trace_out_warns_serial_uncached(tmp_path, capsys):
+    """--trace-out silently disabling parallelism and the cache was a trap;
+    the CLI must say so out loud (on stderr, clear of report bodies)."""
+    trace = tmp_path / "trace.jsonl"
+    assert main(["run", "table2", "--trace-out", str(trace), "-j", "2"]) == 0
+    captured = capsys.readouterr()
+    assert (
+        "warning: --trace-out forces serial, uncached execution "
+        "(--jobs 1 --no-cache)" in captured.err
+    )
+    assert "# scale: ci  seed: 0  jobs: 1" in captured.out
+    assert trace.exists()
+
+
+def test_backend_flag_header(capsys):
+    assert main(["run", "table2", "--backend", "posixfs", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "# backend: posixfs" in out
+
+    # The default backend prints no backend line: DAOS results files stay
+    # byte-identical to the goldens.
+    assert main(["run", "table2", "--no-cache"]) == 0
+    assert "# backend:" not in capsys.readouterr().out
+
+
+def test_backend_flag_rejects_daos_only_experiment(capsys):
+    assert main(["run", "rebuild", "--backend", "posixfs", "--no-cache"]) == 2
+    err = capsys.readouterr().err
+    assert "supports only the daos backend" in err
+
+
+def test_backend_flag_unknown_backend_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "table2", "--backend", "gpfs"])
