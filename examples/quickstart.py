@@ -46,6 +46,15 @@ def main() -> None:
     assert data == synthesize_field(target, grid).to_bytes()
     print(f"  got {format_size(len(data))}, content verified")
 
+    # Bulk retrieval: a MARS-style request expands to many fields and is
+    # fetched in one pass, returned in expansion order.
+    request = "param=t,levelist=850/500,step=0/6," + ",".join(
+        f"{k}={v}" for k, v in base.items()
+    )
+    print("\nretrieving request param=t,levelist=850/500,step=0/6 ...")
+    fields = fdb.retrieve(request)
+    print(f"  got {len(fields)} fields, {format_size(sum(len(f) for f in fields))}")
+
     # Catalogue queries.
     forecast = FieldKey({k: base[k] for k in ("class", "stream", "expver", "date", "time")})
     listed = fdb.list_fields(forecast)

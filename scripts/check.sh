@@ -32,3 +32,6 @@ PYTHONPATH=src python scripts/check_scheduler_identity.py --scale ci
 
 echo "== backend identity: daos path byte-identical to golden results =="
 PYTHONPATH=src python scripts/check_backend_identity.py --jobs 2
+
+echo "== serving smoke: cache-hit, qos shedding, replication tail cuts =="
+PYTHONPATH=src python scripts/ci_serving_smoke.py --jobs 2

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI smoke: the product-serving tier shows the dissemination story.
+
+Runs the ``product_serving`` experiment at CI scale and asserts the shape
+the serving tier's argument rests on:
+
+* the cache-hit rate climbs monotonically with gateway cache capacity;
+* QoS admission holds under a 6x overload: requests are shed, the wait
+  queue stays within the configured depth, and the protected p99 beats the
+  unprotected twin's (DAOS backend — the posixfs store does not melt down
+  at CI scale, so the comparison is only meaningful there);
+* hot-object replication pulls the rollover worst case's p99 down
+  monotonically with the replication factor;
+* results are byte-identical across ``--jobs`` on both backends.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_serving_smoke.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.runner import ExecOptions, exec_options
+
+
+def run(backend: str, jobs: int):
+    start = time.time()
+    with exec_options(ExecOptions(jobs=jobs)):
+        result = run_experiment("product_serving", scale="ci", seed=0, backend=backend)
+    return result, time.time() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    result, wall = run("daos", jobs=1)
+    print(result.render())
+    print(f"[product_serving daos: {wall:.1f}s wall]\n")
+
+    failures = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        print(f"{'ok  ' if ok else 'FAIL'} {label}: {detail}")
+        if not ok:
+            failures.append(label)
+
+    hit = result.series_by_name("hit rate vs cache MiB")
+    check(
+        "cache-hit-climbs",
+        hit.is_nondecreasing() and hit.ys[-1] > hit.ys[0],
+        f"hit rate {hit.ys[0]:.3f} -> {hit.ys[-1]:.3f} over cache sizes {hit.xs}",
+    )
+
+    rate_rows = [row for row in result.rows if row[0] == "rate"]
+    qos_on = [row for row in rate_rows if row[4] == "on"]
+    qos_off = [row for row in rate_rows if row[4] == "off"]
+    top_on, top_off = qos_on[-1], qos_off[-1]
+    check(
+        "qos-sheds-overload",
+        int(top_on[6]) > 0,
+        f"{top_on[6]} of {int(top_on[5]) + int(top_on[6])} requests shed at "
+        f"{top_on[2]} req/s",
+    )
+    p99_on, p99_off = float(top_on[10]), float(top_off[10])
+    check(
+        "qos-beats-meltdown",
+        p99_on < p99_off,
+        f"protected p99 {p99_on:.3f} ms < unprotected {p99_off:.3f} ms",
+    )
+    queue_note = next(note for note in result.notes if "max queue" in note)
+    depth = re.search(r"max queue (\d+)/(\d+)", queue_note)
+    check(
+        "qos-queue-bounded",
+        depth is not None and int(depth.group(1)) <= int(depth.group(2)),
+        queue_note,
+    )
+
+    repl = result.series_by_name("p99 vs replication")
+    strictly_falling = all(a > b for a, b in zip(repl.ys, repl.ys[1:]))
+    check(
+        "replication-cuts-p99",
+        len(repl.ys) >= 3 and strictly_falling,
+        "rollover p99 " + " -> ".join(f"{y:.3f}" for y in repl.ys) + " ms over "
+        f"replication {repl.xs}",
+    )
+
+    promo_note = next(note for note in result.notes if "promotions" in note)
+    promotions = [int(n) for n in promo_note.rsplit(" ", 1)[-1].split("/")]
+    check(
+        "hot-fields-promoted",
+        promotions[0] == 0 and all(n > 0 for n in promotions[1:]),
+        promo_note,
+    )
+
+    parallel, wall = run("daos", jobs=args.jobs)
+    check(
+        "daos-jobs-identity",
+        parallel.render() == result.render(),
+        f"--jobs {args.jobs} rendering byte-identical ({wall:.1f}s wall)",
+    )
+
+    posix, wall = run("posixfs", jobs=1)
+    print(f"\n[product_serving posixfs: {wall:.1f}s wall]")
+    posix_hit = posix.series_by_name("hit rate vs cache MiB")
+    check(
+        "posixfs-cache-hit-climbs",
+        posix_hit.is_nondecreasing() and posix_hit.ys[-1] > posix_hit.ys[0],
+        f"hit rate {posix_hit.ys[0]:.3f} -> {posix_hit.ys[-1]:.3f}",
+    )
+    posix_rate_on = [r for r in posix.rows if r[0] == "rate" and r[4] == "on"]
+    check(
+        "posixfs-qos-sheds",
+        int(posix_rate_on[-1][6]) > 0,
+        f"{posix_rate_on[-1][6]} requests shed at {posix_rate_on[-1][2]} req/s",
+    )
+    posix_parallel, wall = run("posixfs", jobs=args.jobs)
+    check(
+        "posixfs-jobs-identity",
+        posix_parallel.render() == posix.render(),
+        f"--jobs {args.jobs} rendering byte-identical ({wall:.1f}s wall)",
+    )
+
+    if failures:
+        print(f"\n{len(failures)} product-serving shape check(s) failed: {failures}")
+        return 1
+    print("\nproduct-serving shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,12 +40,21 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
 
 
 def format_series(
-    name: str, xs: Sequence[object], ys: Sequence[float], unit: str = "GiB/s"
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    unit: str = "GiB/s",
+    scale: float = GiB,
 ) -> str:
-    """Render one figure series as ``name: x=y, x=y, ...``."""
+    """Render one figure series as ``name: x=y, x=y, ...``.
+
+    ``scale`` divides every y for display — GiB for bandwidth series (the
+    default, unchanged from the original signature), 1.0 for series whose
+    values are already in their display unit (hit rates, milliseconds).
+    """
     if len(xs) != len(ys):
         raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
-    points = ", ".join(f"{x}={y / GiB:.2f}" for x, y in zip(xs, ys))
+    points = ", ".join(f"{x}={y / scale:.2f}" for x, y in zip(xs, ys))
     return f"{name} [{unit}]: {points}"
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "SimulatedFaultError",
     "LockTimeoutError",
     "MetadataOverloadError",
+    "ServiceBusyError",
     "TargetDownError",
 ]
 
@@ -101,6 +102,22 @@ class MetadataOverloadError(SimulatedFaultError):
     :class:`SimulatedFaultError` so the existing retry-with-backoff
     middleware handles it identically to an injected RPC fault.
     """
+
+
+class ServiceBusyError(SimulatedFaultError):
+    """Request shed by admission control: the service is over capacity.
+
+    Raised by the serving tier's QoS middleware when a tenant is out of
+    rate-limit tokens *and* its wait queue is already at the configured
+    depth — the DER_BUSY/overload answer a gateway returns instead of
+    letting queues grow without bound.  Subclassing
+    :class:`SimulatedFaultError` makes the shed *retryable*: a client that
+    installs the standard retry middleware backs off and re-offers the
+    request, while open-loop load generators may equally count the shed
+    and move on.
+    """
+
+    code = -1012
 
 
 class TargetDownError(DaosError):

@@ -20,6 +20,7 @@ from repro.daos.oid import ObjectId
 __all__ = [
     "placement_hash",
     "place_object",
+    "engine_span",
     "remap_target",
     "shard_layout",
     "shard_for_offset",
@@ -128,6 +129,23 @@ def place_object(
             group_counts[group] = group_counts.get(group, 0) + 1
             layout.append(target)
     return layout
+
+
+def engine_span(layout: Sequence[int], n_targets: int, n_engines: int) -> int:
+    """Number of distinct engines a layout's targets live on.
+
+    Targets are grouped contiguously per engine (``n_targets / n_engines``
+    each), matching :meth:`repro.daos.system.DaosSystem.engine_of_target`.
+    The serving tier uses this to verify that promoting a hot object to a
+    replicated class actually spread its replicas over engines — the whole
+    point of the promotion.
+    """
+    if n_engines < 1 or n_targets % n_engines != 0:
+        raise ValueError(
+            f"n_engines={n_engines} must be >= 1 and divide n_targets={n_targets}"
+        )
+    per_engine = n_targets // n_engines
+    return len({target // per_engine for target in layout})
 
 
 def remap_target(

@@ -42,9 +42,10 @@ __all__ = [
 
 #: Bump whenever a kernel/model change alters simulated results.  The salt
 #: is folded into every fingerprint, so one bump invalidates every cached
-#: entry at once.  ``sim-v4`` corresponds to the golden digests of PR 3/4
-#: (``tests/bench/test_determinism.py``).
-SIMULATOR_VERSION_SALT = "sim-v4"
+#: entry at once.  ``sim-v5`` covers the serving tier PR: ``rebuild_round``
+#: grew a ``read_latency`` projection, so cached v4 rebuild entries no
+#: longer match the driver's schema.
+SIMULATOR_VERSION_SALT = "sim-v5"
 
 
 def canonical(value: Any) -> Any:

@@ -21,7 +21,7 @@ ambient, installed by the CLI; drivers never see it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, Iterable, List
 
 from repro.bench.report import format_series, format_table
 from repro.experiments.runner import ExecOptions, GridSpec, run_grid
@@ -34,7 +34,45 @@ __all__ = [
     "ExecOptions",
     "GridSpec",
     "run_grid",
+    "percentile",
+    "latency_percentiles",
+    "LATENCY_PERCENTILES",
 ]
+
+#: The tail-latency quantiles every latency report carries.
+LATENCY_PERCENTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0), ("p999", 99.9))
+
+
+def _interpolate(data: List[float], q: float) -> float:
+    """Quantile of pre-sorted ``data`` by linear interpolation.
+
+    The deterministic "linear" definition (numpy's default): rank
+    ``q/100 * (n-1)`` interpolated between its neighbours.  Pure-python
+    float arithmetic in a fixed order, so results are bit-stable across
+    platforms and runs.
+    """
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    rank = (len(data) - 1) * (q / 100.0)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    fraction = rank - lo
+    return float(data[lo]) * (1.0 - fraction) + float(data[hi]) * fraction
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (0.0 for an empty input)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return _interpolate(sorted(values), q)
+
+
+def latency_percentiles(values: Iterable[float]) -> Dict[str, float]:
+    """p50/p95/p99/p999 of ``values`` in one sort (zeros for empty input)."""
+    data = sorted(values)
+    return {name: _interpolate(data, q) for name, q in LATENCY_PERCENTILES}
 
 
 @dataclass(frozen=True)
@@ -56,11 +94,18 @@ class Scale:
 
 @dataclass
 class Series:
-    """One figure series: name plus (x, bandwidth-in-bytes/s) points."""
+    """One figure series: name plus (x, y) points.
+
+    ``ys`` default to bandwidth in bytes/s rendered as GiB/s; non-bandwidth
+    series (hit rates, latencies) override ``unit``/``scale`` so the
+    rendered numbers keep their natural magnitude.
+    """
 
     name: str
     xs: List[object]
     ys: List[float]
+    unit: str = "GiB/s"
+    scale: float = GiB
 
     def __post_init__(self) -> None:
         if len(self.xs) != len(self.ys):
@@ -111,7 +156,12 @@ class ExperimentResult:
         if self.rows:
             parts.append(format_table(self.headers, self.rows))
         for series in self.series:
-            parts.append(format_series(series.name, series.xs, series.ys))
+            parts.append(
+                format_series(
+                    series.name, series.xs, series.ys,
+                    unit=series.unit, scale=series.scale,
+                )
+            )
         for note in self.notes:
             parts.append(f"note: {note}")
         return "\n".join(parts)

@@ -36,7 +36,12 @@ from repro.daos.objclass import (
     object_class_by_name,
 )
 from repro.daos.rpc import OpStats, merge_op_stats
-from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    Series,
+    latency_percentiles,
+)
 from repro.experiments.runner import GridSpec, run_grid
 from repro.fdb.fieldio import FieldIO
 from repro.fdb.modes import FieldIOMode
@@ -51,13 +56,23 @@ TITLE = "Self-healing: degraded reads and bandwidth under rebuild vs object clas
 CLASSES = (OC_RP_2G1, OC_RP_3G1)
 
 
-def _field_stream(fieldio: FieldIO, keys, op: str, field_size: int):
-    """One process's phase: write or read-and-verify its key sequence."""
+def _field_stream(fieldio: FieldIO, keys, op: str, field_size: int,
+                  latencies: Optional[List[float]] = None):
+    """One process's phase: write or read-and-verify its key sequence.
+
+    Read rounds append each field's start-to-return latency to
+    ``latencies`` — pool-map refresh retries included, which is what
+    stretches the degraded tail.
+    """
+    sim = fieldio.client.sim
     for key in keys:
         if op == "write":
             yield from fieldio.write(key, field_payload(key, field_size))
         else:
+            started = sim.now
             payload = yield from fieldio.read(key)
+            if latencies is not None:
+                latencies.append(sim.now - started)
             expected = field_payload(key, field_size)
             if payload.to_bytes() != expected.to_bytes():
                 raise AssertionError(
@@ -71,6 +86,7 @@ def _phase(cluster, system, pool, oclass: ObjectClass, op: str, n_ops: int,
     sim = cluster.sim
     addresses = cluster.client_addresses(ppn)
     clients: List[StorageClient] = []
+    latencies: List[float] = []
     processes = []
     start = sim.now
     for rank, address in enumerate(addresses):
@@ -85,7 +101,7 @@ def _phase(cluster, system, pool, oclass: ObjectClass, op: str, n_ops: int,
         keys = pattern_a_keys(rank, n_ops, shared_forecast=False)
         processes.append(
             sim.process(
-                _field_stream(fieldio, keys, op, field_size),
+                _field_stream(fieldio, keys, op, field_size, latencies),
                 name=f"rebuild-exp:{op}:{rank}",
             )
         )
@@ -96,6 +112,7 @@ def _phase(cluster, system, pool, oclass: ObjectClass, op: str, n_ops: int,
         "duration": duration,
         "bandwidth": nbytes / duration if duration > 0 else 0.0,
         "clients": clients,
+        "latencies": latencies,
     }
 
 
@@ -167,6 +184,7 @@ def rebuild_round(
             for r in round_["rebuild_runs"]
         ],
         "map_refreshes": round_["map_refreshes"],
+        "read_latency": latency_percentiles(round_["latencies"]),
         "rpc_stats": {
             op: stats.as_dict() for op, stats in round_["rpc_stats"].items()
         },
@@ -187,6 +205,8 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
         "loss %",
         "rebuild ms",
         "moved MiB",
+        "read p50 ms",
+        "read p99 ms",
         "map refreshes",
     ]
     # Two-stage grid: the failure time of each degraded round is derived
@@ -227,6 +247,8 @@ def run(scale: Scale = Scale.of("ci"), seed: int = 0) -> ExperimentResult:
                 f"{loss:+.1f}",
                 f"{rebuild_ms:.2f}",
                 f"{moved:.1f}",
+                f"{degraded['read_latency']['p50'] * 1e3:.3f}",
+                f"{degraded['read_latency']['p99'] * 1e3:.3f}",
                 degraded["map_refreshes"],
             ]
         )

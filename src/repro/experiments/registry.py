@@ -13,6 +13,7 @@ from repro.experiments import (
     fig6,
     fig7,
     interfaces,
+    product_serving,
     rebuild,
     table1,
     table2,
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "rebuild": rebuild.run,
     "backend_compare": backend_compare.run,
     "interfaces": interfaces.run,
+    "product_serving": product_serving.run,
 }
 
 #: Experiments tied to DAOS-only machinery (health schedules, pool-map

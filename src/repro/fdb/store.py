@@ -82,8 +82,23 @@ class FDB:
             data = BytesPayload(bytes(data))
         self._run(self.fieldio.write(key, data))
 
-    def retrieve(self, key: FieldKey | dict) -> bytes:
-        """Fetch the field stored under ``key`` (Fig 1 read semantics)."""
+    def retrieve(self, key) -> bytes | List[bytes]:
+        """Fetch field(s) (Fig 1 read semantics).
+
+        A :class:`~repro.fdb.key.FieldKey` (or plain dict) fetches one
+        field and returns its bytes.  A
+        :class:`~repro.fdb.request.Request` (or MARS shorthand string like
+        ``"param=t/u,step=0/6"``) fetches every field it expands to in one
+        bulk pass and returns ``List[bytes]`` in expansion order — no
+        expand-then-loop needed at the call site.
+        """
+        from repro.fdb.request import Request
+
+        if isinstance(key, str):
+            key = Request.parse(key)
+        if isinstance(key, Request):
+            payloads = self._run(self.fieldio.read_request(key))
+            return [payload.to_bytes() for payload in payloads.values()]
         if not isinstance(key, FieldKey):
             key = FieldKey(key)
         payload = self._run(self.fieldio.read(key))

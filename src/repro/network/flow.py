@@ -1214,6 +1214,20 @@ class FlowNetwork:
         if not flows:
             return
         self.solver_runs += 1
+        if self._pathless_active:
+            # A path-less (rate-cap-only) flow is constrained by nothing:
+            # its max-min rate is exactly its cap.  Fix it before filling so
+            # the tie threshold can never collapse it onto an unrelated
+            # component's bound that drifted within a ULP of the cap.
+            filling = []
+            for flow in flows:
+                if flow.path:
+                    filling.append(flow)
+                else:
+                    flow._rate = flow.rate_cap
+            flows = filling
+            if not flows:
+                return
         self._epoch += 1
         epoch = self._epoch
         links: List[Link] = []
@@ -1288,6 +1302,11 @@ class FlowNetwork:
         links: List[Link] = []
         buckets: Dict[FlowGroup, List[Flow]] = {}
         for flow in flows:
+            if not flow.path:
+                # Path-less flows always run at exactly their cap; see
+                # :meth:`_compute_rates`.
+                flow._rate = flow.rate_cap
+                continue
             group = flow.group
             members = buckets.get(group)
             if members is None:
@@ -1427,7 +1446,21 @@ class FlowNetwork:
             self._sc_flow_b = np.empty(max(64, 2 * n), dtype=bool)
         fixed = self._sc_flow_b[:n]
         n_done = 0
-        while True:
+        if self._pathless_active:
+            # Path-less flows always run at exactly their cap (their column
+            # gathers only the cap row); pre-fix and poison them so the tie
+            # threshold never couples them to another component's bound.
+            # Columns are left-packed, so row 0 == pad means an empty path
+            # (with stride 0 every live flow is path-less).
+            if stride:
+                ppos = (occT[0] == pad).nonzero()[0]
+            else:
+                ppos = self._sc_ar[:n]
+            if ppos.size:
+                rates[ppos] = share_ext[n_pad:][ppos]
+                occT[:, ppos] = pad
+                n_done = int(ppos.size)
+        while n_done < n:
             # Links with no unfixed flows get share == cap_left instead of
             # the scalar path's +inf, but no live column references them —
             # their flows are all poisoned — so the value is never read.
@@ -1556,7 +1589,17 @@ class FlowNetwork:
         fixed = self._sc_flow_b[:ng]
         total = float(np.add.reduce(w))
         n_done = 0.0
-        while True:
+        if self._pathless_active:
+            # Pre-fix path-less groups at their cap, exactly like the flat
+            # solver.  The w > 0 filter keeps retired (all-pad, weight-0,
+            # cap-inf) rows of a full solve unfixed and inert as before.
+            mask = (occT[0] == pad) if stride else np.ones(ng, dtype=bool)
+            ppos = (mask & (w > 0.0)).nonzero()[0]
+            if ppos.size:
+                rates[ppos] = share_ext[n_pad:][ppos]
+                occT[:, ppos] = pad
+                n_done = float(np.add.reduce(w[ppos]))
+        while n_done < total:
             np.maximum(counts, 1, out=div)
             np.divide(cap_left, div, out=share_ext[:n_pad])
             share_ext.take(occT, out=g)

@@ -1,0 +1,171 @@
+"""Gateway-side field cache: LRU over bytes, content-addressed storage.
+
+The cache maps field keys to payloads, but the *bytes* live in a separate
+content-addressed store keyed by
+:meth:`~repro.daos.payload.Payload.content_digest` — the streamed SHA-256
+the payload layer computes (and caches) anyway.  Two field keys holding
+byte-identical payloads therefore account their bytes **once**, the way a
+real dissemination cache dedups identical GRIB messages, and an overwrite
+that re-points a key at new content releases the old digest's bytes only
+when its last referencing key is gone.
+
+Eviction is LRU over keys with a byte capacity; an optional per-entry TTL
+models cycle rollover (yesterday's products age out without explicit
+invalidation).  All state transitions are counted — hits, misses,
+evictions, expirations — because the serving experiment's headline is the
+cache-hit curve.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+from repro.daos.payload import Payload
+
+__all__ = ["FieldCache"]
+
+
+class _Entry:
+    __slots__ = ("digest", "size", "expires_at")
+
+    def __init__(self, digest: bytes, size: int, expires_at: Optional[float]) -> None:
+        self.digest = digest
+        self.size = size
+        self.expires_at = expires_at
+
+
+class FieldCache:
+    """Byte-bounded LRU of field payloads keyed by content digest.
+
+    Parameters
+    ----------
+    capacity:
+        Byte budget for cached payload content (distinct digests count
+        once).  Payloads larger than the whole budget are never cached.
+    ttl:
+        Seconds an entry stays valid, or ``None`` for no expiry.  Time is
+        passed *in* by the caller (``now=sim.now``) so the cache is a pure
+        deterministic data structure with no clock of its own.
+    """
+
+    def __init__(self, capacity: int, ttl: Optional[float] = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._payloads: Dict[bytes, Payload] = {}
+        self._refcounts: Dict[bytes, int] = {}
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.insertions = 0
+        self.oversize_rejects = 0
+
+    # -- content-addressed byte accounting -------------------------------------
+    def _incref(self, digest: bytes, payload: Payload) -> None:
+        count = self._refcounts.get(digest, 0)
+        if count == 0:
+            self._payloads[digest] = payload
+            self._bytes += payload.size
+        self._refcounts[digest] = count + 1
+
+    def _decref(self, digest: bytes) -> None:
+        count = self._refcounts[digest] - 1
+        if count == 0:
+            del self._refcounts[digest]
+            self._bytes -= self._payloads.pop(digest).size
+        else:
+            self._refcounts[digest] = count
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key)
+        self._decref(entry.digest)
+
+    # -- public API -------------------------------------------------------------
+    def get(self, key: Hashable, now: float = 0.0) -> Optional[Payload]:
+        """The cached payload for ``key``, or ``None`` (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expires_at is not None and now >= entry.expires_at:
+            self._drop(key)
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return self._payloads[entry.digest]
+
+    def put(self, key: Hashable, payload: Payload, now: float = 0.0) -> bool:
+        """Insert/refresh ``key`` -> ``payload``; returns whether it was cached.
+
+        An overwrite with different content releases the old digest (unless
+        another key still references it); refreshing with identical content
+        just renews the TTL and recency.  Inserting evicts LRU entries
+        until the byte budget holds.
+        """
+        size = payload.size
+        if size > self.capacity:
+            if key in self._entries:
+                self._drop(key)
+            self.oversize_rejects += 1
+            return False
+        digest = payload.content_digest()
+        old = self._entries.get(key)
+        if old is not None:
+            if old.digest == digest:
+                old.expires_at = now + self.ttl if self.ttl is not None else None
+                self._entries.move_to_end(key)
+                return True
+            self._drop(key)
+        expires_at = now + self.ttl if self.ttl is not None else None
+        self._incref(digest, payload)
+        self._entries[key] = _Entry(digest, size, expires_at)
+        self.insertions += 1
+        while self._bytes > self.capacity and self._entries:
+            lru_key = next(iter(self._entries))
+            self._drop(lru_key)
+            self.evictions += 1
+        return True
+
+    def contains(self, key: Hashable, now: float = 0.0) -> bool:
+        """Whether ``key`` is cached and unexpired (no counters, no LRU touch)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        return entry.expires_at is None or now < entry.expires_at
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+        self._payloads.clear()
+        self._refcounts.clear()
+        self._bytes = 0
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of cached content (distinct digests counted once)."""
+        return self._bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FieldCache {len(self._entries)} entries, "
+            f"{self._bytes}/{self.capacity} B, "
+            f"{self.hits}h/{self.misses}m/{self.evictions}e>"
+        )

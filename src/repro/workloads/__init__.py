@@ -20,8 +20,16 @@ from repro.workloads.generator import (
     pattern_a_keys,
     pattern_b_pairs,
     forecast_msk,
+    serving_catalog,
+    serving_request,
 )
 from repro.workloads.ioserver import PipelineParams, PipelineResult, run_pipeline
+from repro.workloads.zipf import (
+    TenantSpec,
+    TrafficSchedule,
+    zipf_schedule,
+    zipf_weights,
+)
 
 __all__ = [
     "GaussianGrid",
@@ -34,7 +42,13 @@ __all__ = [
     "pattern_a_keys",
     "pattern_b_pairs",
     "forecast_msk",
+    "serving_catalog",
+    "serving_request",
     "PipelineParams",
     "PipelineResult",
     "run_pipeline",
+    "TenantSpec",
+    "TrafficSchedule",
+    "zipf_schedule",
+    "zipf_weights",
 ]

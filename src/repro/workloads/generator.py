@@ -17,8 +17,15 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.fdb.key import FieldKey
+from repro.fdb.request import Request
 
-__all__ = ["forecast_msk", "pattern_a_keys", "pattern_b_pairs"]
+__all__ = [
+    "forecast_msk",
+    "pattern_a_keys",
+    "pattern_b_pairs",
+    "serving_catalog",
+    "serving_request",
+]
 
 
 def forecast_msk(rank: int, shared: bool) -> FieldKey:
@@ -86,3 +93,37 @@ def pattern_b_pairs(
         writer_keys.append(_field_key(msk, writer_rank, 0))
     reader_keys = list(writer_keys)
     return writer_keys, reader_keys
+
+
+#: Fixed least-significant components of every product-serving field.
+_SERVING_LSK = {"type": "fc", "levtype": "ml", "levelist": "1", "param": "t"}
+
+
+def serving_catalog(n_fields: int) -> List[FieldKey]:
+    """The dissemination catalog: one archived cycle of ``n_fields`` fields.
+
+    All fields live in one shared forecast (the freshly completed cycle the
+    users are hammering); field ``i`` is addressed by ``step=i``, so a MARS
+    request covering several consecutive steps expands to several catalog
+    fields.
+    """
+    if n_fields < 1:
+        raise ValueError(f"need >= 1 fields, got {n_fields}")
+    msk = forecast_msk(0, shared=True)
+    return [msk.merged({**_SERVING_LSK, "step": str(i)}) for i in range(n_fields)]
+
+
+def serving_request(field_index: int, n_fields: int, span: int = 1) -> Request:
+    """The MARS request a user issues for catalog field ``field_index``.
+
+    ``span`` consecutive steps (wrapping at the catalog end) are requested
+    together — the multi-field retrieval shape of product generation.  The
+    expansion covers exactly the :func:`serving_catalog` keys.
+    """
+    if not 0 <= field_index < n_fields:
+        raise ValueError(f"field_index {field_index} outside [0, {n_fields})")
+    if not 1 <= span <= n_fields:
+        raise ValueError(f"span must be in [1, {n_fields}], got {span}")
+    msk = forecast_msk(0, shared=True)
+    steps = tuple(str((field_index + j) % n_fields) for j in range(span))
+    return Request({**dict(msk), **_SERVING_LSK, "step": steps})

@@ -1,0 +1,143 @@
+"""Zipf-distributed, multi-tenant open-loop request traffic.
+
+The dissemination tier's load model: an aggregate Poisson arrival process
+(open loop — arrivals do not wait for completions, like real users hitting
+a gateway) split across tenants by weight, each request drawing its target
+field from a zipf(``exponent``) popularity law over the catalog.  The
+rank -> field mapping is a seeded permutation, so the "hot" fields are
+scattered over the catalog instead of clustering at low indices (which
+would correlate popularity with placement).
+
+Everything is derived from ``(seed, parameters)`` through a dedicated
+named stream — fully deterministic, vectorised, and independent of any
+other randomness in the simulation.  Draw order is fixed and documented in
+:func:`zipf_schedule`; adding draws later must append, never reorder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TenantSpec", "TrafficSchedule", "zipf_weights", "zipf_schedule"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the serving tier and its share of the traffic."""
+
+    name: str
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.share <= 0:
+            raise ValueError(f"tenant share must be positive, got {self.share}")
+
+
+def _traffic_rng(seed: int) -> np.random.Generator:
+    """The dedicated ``zipf-traffic`` stream (RngRegistry naming idiom)."""
+    digest = hashlib.sha256(b"zipf-traffic").digest()
+    entropy = int.from_bytes(digest[:8], "little")
+    return np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence(entropy=[seed, entropy]))
+    )
+
+
+def zipf_weights(n_fields: int, exponent: float) -> np.ndarray:
+    """Normalised zipf pmf over ranks ``1..n_fields`` (rank 0 hottest)."""
+    if n_fields < 1:
+        raise ValueError(f"need >= 1 fields, got {n_fields}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    weights = 1.0 / np.arange(1, n_fields + 1, dtype=np.float64) ** exponent
+    return weights / weights.sum()
+
+
+@dataclass
+class TrafficSchedule:
+    """A materialised request schedule: parallel arrays, one row per request."""
+
+    #: Arrival times in simulated seconds, nondecreasing.
+    times: np.ndarray
+    #: Tenant index per request (into :attr:`tenant_names`).
+    tenant_ids: np.ndarray
+    #: Popularity rank per request (0 = hottest).
+    ranks: np.ndarray
+    #: Catalog field index per request (seeded permutation of the rank).
+    field_ids: np.ndarray
+    tenant_names: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, str, int]]:
+        """Yield ``(arrival_time, tenant_name, field_index)`` per request."""
+        for i in range(len(self.times)):
+            yield (
+                float(self.times[i]),
+                self.tenant_names[self.tenant_ids[i]],
+                int(self.field_ids[i]),
+            )
+
+    @property
+    def duration(self) -> float:
+        """Arrival time of the last request."""
+        return float(self.times[-1]) if len(self.times) else 0.0
+
+    def rank_counts(self) -> np.ndarray:
+        """Requests per popularity rank (index 0 = hottest)."""
+        n_ranks = int(self.ranks.max()) + 1 if len(self.ranks) else 0
+        return np.bincount(self.ranks, minlength=n_ranks)
+
+    def tenant_counts(self) -> Dict[str, int]:
+        """Requests per tenant name."""
+        counts = np.bincount(self.tenant_ids, minlength=len(self.tenant_names))
+        return {name: int(counts[i]) for i, name in enumerate(self.tenant_names)}
+
+
+def zipf_schedule(
+    *,
+    n_requests: int,
+    rate: float,
+    n_fields: int,
+    exponent: float,
+    tenants: Sequence[TenantSpec],
+    seed: int = 0,
+) -> TrafficSchedule:
+    """Build an open-loop zipf request schedule.
+
+    Draw order (fixed for reproducibility): inter-arrival gaps, tenant
+    choices, popularity ranks, then the rank -> field permutation.
+    """
+    if n_requests < 1:
+        raise ValueError(f"need >= 1 requests, got {n_requests}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    names = tuple(t.name for t in tenants)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+
+    rng = _traffic_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=n_requests)
+    times = np.cumsum(gaps)
+    shares = np.array([t.share for t in tenants], dtype=np.float64)
+    tenant_ids = rng.choice(len(tenants), size=n_requests, p=shares / shares.sum())
+    cdf = np.cumsum(zipf_weights(n_fields, exponent))
+    # Inverse-CDF zipf draw: searchsorted is exact and vectorised.
+    ranks = np.searchsorted(cdf, rng.random(n_requests), side="right")
+    ranks = np.minimum(ranks, n_fields - 1).astype(np.int64)
+    permutation = rng.permutation(n_fields)
+    return TrafficSchedule(
+        times=times,
+        tenant_ids=tenant_ids.astype(np.int64),
+        ranks=ranks,
+        field_ids=permutation[ranks],
+        tenant_names=names,
+    )

@@ -2,8 +2,46 @@
 
 import pytest
 
-from repro.experiments.common import ExperimentResult, Scale, Series
+from repro.experiments.common import (
+    ExperimentResult,
+    Scale,
+    Series,
+    latency_percentiles,
+    percentile,
+)
 from repro.units import GiB
+
+
+def test_percentile_validation_and_edges():
+    with pytest.raises(ValueError):
+        percentile([1.0], -1.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.5)
+    assert percentile([], 99.0) == 0.0
+    assert percentile([7.0], 50.0) == 7.0
+    assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+    assert percentile([1.0, 2.0, 3.0], 100.0) == 3.0
+
+
+def test_percentile_linear_interpolation():
+    data = [0.0, 10.0, 20.0, 30.0]
+    # Rank q/100 * (n-1) between neighbours — numpy's "linear" definition.
+    assert percentile(data, 50.0) == 15.0
+    assert percentile(data, 25.0) == 7.5
+    assert percentile(data, 75.0) == 22.5
+    # Input order does not matter.
+    assert percentile([30.0, 0.0, 20.0, 10.0], 50.0) == 15.0
+
+
+def test_latency_percentiles_keys_and_consistency():
+    values = [float(i) for i in range(1000, 0, -1)]
+    summary = latency_percentiles(values)
+    assert list(summary) == ["p50", "p95", "p99", "p999"]
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["p999"]
+    assert summary["p99"] == percentile(values, 99.0)
+    assert latency_percentiles([]) == {
+        "p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0,
+    }
 
 
 def test_scale_factory():

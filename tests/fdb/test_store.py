@@ -69,3 +69,16 @@ def test_retrieve_missing_raises():
     fdb = FDB()
     with pytest.raises(FieldNotFoundError):
         fdb.retrieve(full_key())
+
+
+def test_retrieve_accepts_request_and_shorthand():
+    from repro.fdb.request import Request
+
+    fdb = FDB()
+    for step in ("0", "6", "12"):
+        fdb.archive(full_key(step=step), step.encode())
+    request = Request(full_key(step=["0", "6", "12"]))
+    assert fdb.retrieve(request) == [b"0", b"6", b"12"]
+    # The MARS shorthand string goes through Request.parse.
+    shorthand = ",".join(f"{k}={v}" for k, v in full_key(step="6/0").items())
+    assert fdb.retrieve(shorthand) == [b"6", b"0"]

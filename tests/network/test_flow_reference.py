@@ -22,7 +22,7 @@ actually runs in.
 
 import math
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.network.flow import FlowNetwork
 from repro.simulation import Simulator
@@ -30,15 +30,59 @@ from repro.simulation import Simulator
 _INF = math.inf
 
 
-def reference_rates(flows):
-    """Full-network progressive filling (the textbook reference).
+def _link_components(flows):
+    """Partition flows into link-connected components, preserving order.
 
-    Independent reimplementation over every active flow: per-round fair
-    share per link, every flow bounded by its cap and its links' shares,
-    flows at the round minimum fixed, capacities debited.  Mirrors the
-    kernel's tie threshold and capacity clamp so results are comparable
-    bit for bit.
+    A path-less (rate-cap-only) flow shares no link with anything, so it is
+    its own singleton component — exactly how the kernel scopes it.
     """
+    parent = {}
+
+    def find(link):
+        root = link
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[link] is not root:
+            parent[link], link = root, parent[link]
+        return root
+
+    for flow in flows:
+        first = None
+        for link in flow.path:
+            parent.setdefault(link, link)
+            if first is None:
+                first = find(link)
+            else:
+                parent[find(link)] = first
+    components = {}
+    for index, flow in enumerate(flows):
+        key = find(flow.path[0]) if flow.path else ("pathless", index)
+        components.setdefault(key, []).append(flow)
+    return list(components.values())
+
+
+def reference_rates(flows):
+    """Progressive filling (the textbook reference), per component.
+
+    Independent reimplementation: per-round fair share per link, every flow
+    bounded by its cap and its links' shares, flows at the round minimum
+    fixed, capacities debited.  Mirrors the kernel's tie threshold and
+    capacity clamp so results are comparable bit for bit.
+
+    Filling runs once per link-connected component, matching the kernel's
+    scoping contract.  A single global pass would be identical *except*
+    that its tie threshold could couple bounds across unrelated components
+    that drift within a ULP of each other (a path-less flow capped at 3
+    vs. a share that debited down to 2.9999999999999996) — a coupling the
+    kernel, which solves components independently, never performs.
+    """
+    rates = {}
+    for component in _link_components(flows):
+        rates.update(_fill_component(component))
+    return rates
+
+
+def _fill_component(flows):
     cap_left = {}
     n_unfixed = {}
     for flow in flows:
@@ -154,6 +198,25 @@ def scenarios(draw):
 
 @given(scenario=scenarios())
 @settings(max_examples=60, deadline=None)
+@example(
+    # Regression: the path-less cap-3 flow is a singleton component the
+    # kernel pins at exactly 3.0, while a *global* reference pass collapsed
+    # it (via the 1e-12 tie threshold) onto another component's bound that
+    # had debited down to 2.9999999999999996.
+    scenario=(
+        [8, 1, 3],
+        [([], 1, 3, 0),
+         ([1], 1, None, 0),
+         ([0, 0, 1], 1, None, 0),
+         ([1], 1, None, 0),
+         ([0, 2, 2], 1, None, 0),
+         ([1], 1, None, 0),
+         ([0, 0], 1, None, 0),
+         ([0, 1], 1, None, 1),
+         ([1], 1, None, 0)],
+        [3],
+    ),
+)
 def test_incremental_matches_reference(scenario):
     """Staggered multi-component traffic: kernel == reference at probes."""
     capacities, flow_specs, probes = scenario

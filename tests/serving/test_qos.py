@@ -1,0 +1,65 @@
+"""Token-bucket admission: deterministic reservations, refunds, policy."""
+
+import pytest
+
+from repro.serving import QosPolicy, TokenBucket
+
+
+def test_policy_validation():
+    QosPolicy(rate=10.0)
+    with pytest.raises(ValueError):
+        QosPolicy(rate=0.0)
+    with pytest.raises(ValueError):
+        QosPolicy(rate=1.0, burst=0.5)
+    with pytest.raises(ValueError):
+        QosPolicy(rate=1.0, max_queue_depth=-1)
+
+
+def test_burst_admits_back_to_back():
+    bucket = TokenBucket(rate=1.0, burst=3.0)
+    assert bucket.reserve(0.0) == 0.0
+    assert bucket.reserve(0.0) == 0.0
+    assert bucket.reserve(0.0) == 0.0
+    # Bucket empty: the fourth reservation waits a full token period.
+    assert bucket.reserve(0.0) == pytest.approx(1.0)
+
+
+def test_concurrent_waiters_spaced_one_period_apart():
+    bucket = TokenBucket(rate=10.0, burst=1.0)
+    assert bucket.reserve(0.0) == 0.0
+    waits = [bucket.reserve(0.0) for _ in range(3)]
+    assert waits == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+    assert bucket.waiting_debt == 3
+
+
+def test_refill_caps_at_burst():
+    bucket = TokenBucket(rate=10.0, burst=2.0)
+    bucket.reserve(0.0)
+    bucket.reserve(0.0)
+    # A long idle spell refills to burst, no further.
+    assert bucket.reserve(100.0) == 0.0
+    assert bucket.reserve(100.0) == 0.0
+    assert bucket.reserve(100.0) > 0.0
+
+
+def test_cancel_refunds_reservation():
+    bucket = TokenBucket(rate=1.0, burst=1.0)
+    assert bucket.reserve(0.0) == 0.0
+    wait = bucket.reserve(0.0)
+    assert wait == pytest.approx(1.0)
+    bucket.cancel(0.0)
+    # The refunded token makes the next reservation as cheap as the cancelled
+    # one was - sheds do not consume future capacity.
+    assert bucket.reserve(0.0) == pytest.approx(1.0)
+
+
+def test_reservations_deterministic_across_instances():
+    a = TokenBucket(rate=7.0, burst=2.0)
+    b = TokenBucket(rate=7.0, burst=2.0)
+    times = [0.0, 0.01, 0.02, 0.02, 0.5, 0.5, 0.5]
+    assert [a.reserve(t) for t in times] == [b.reserve(t) for t in times]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0)

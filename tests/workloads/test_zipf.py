@@ -1,0 +1,128 @@
+"""Zipf traffic generator: determinism, popularity shape, tenant split."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import (
+    TenantSpec,
+    TrafficSchedule,
+    zipf_schedule,
+    zipf_weights,
+)
+
+OPS = TenantSpec("ops", share=3.0)
+RESEARCH = TenantSpec("research", share=1.0)
+
+
+def schedule(**overrides):
+    kwargs = dict(
+        n_requests=4000,
+        rate=1000.0,
+        n_fields=64,
+        exponent=1.2,
+        tenants=(OPS, RESEARCH),
+        seed=0,
+    )
+    kwargs.update(overrides)
+    return zipf_schedule(**kwargs)
+
+
+def test_same_seed_is_bit_identical():
+    a, b = schedule(), schedule()
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.tenant_ids, b.tenant_ids)
+    assert np.array_equal(a.ranks, b.ranks)
+    assert np.array_equal(a.field_ids, b.field_ids)
+
+
+def test_different_seed_differs():
+    a, b = schedule(seed=0), schedule(seed=1)
+    assert not np.array_equal(a.times, b.times)
+    assert not np.array_equal(a.field_ids, b.field_ids)
+
+
+def test_arrivals_are_open_loop_at_the_configured_rate():
+    sched = schedule()
+    times = sched.times
+    assert np.all(np.diff(times) >= 0.0)
+    mean_gap = float(times[-1]) / len(sched)
+    assert mean_gap == pytest.approx(1.0 / 1000.0, rel=0.1)
+    assert sched.duration == float(times[-1])
+
+
+def test_rank_frequency_follows_the_popularity_law():
+    sched = schedule()
+    counts = sched.rank_counts()
+    # The head dominates: rank 0 beats every tail rank, and the top decile
+    # carries well over its uniform share of the traffic.
+    assert counts[0] == counts.max()
+    assert counts[:6].sum() > counts[-32:].sum()
+    assert counts[:6].sum() > 0.4 * len(sched)
+
+
+def test_hot_ranks_are_scattered_by_the_permutation():
+    sched = schedule()
+    hottest_field = sched.field_ids[sched.ranks == 0]
+    # One rank maps to exactly one catalog field...
+    assert len(set(hottest_field.tolist())) == 1
+    # ...and the mapping is a permutation, not the identity.
+    assert not np.array_equal(sched.ranks, sched.field_ids)
+    assert set(sched.field_ids.tolist()) <= set(range(64))
+
+
+def test_tenant_split_follows_shares():
+    sched = schedule()
+    counts = sched.tenant_counts()
+    assert counts["ops"] + counts["research"] == len(sched)
+    assert counts["ops"] / len(sched) == pytest.approx(0.75, abs=0.05)
+
+
+def test_iteration_yields_time_tenant_field_rows():
+    sched = schedule(n_requests=5)
+    rows = list(sched)
+    assert len(rows) == 5
+    for arrival, tenant, field_id in rows:
+        assert isinstance(arrival, float)
+        assert tenant in ("ops", "research")
+        assert 0 <= field_id < 64
+
+
+def test_zipf_weights_normalised_and_decreasing():
+    weights = zipf_weights(16, 1.4)
+    assert weights.sum() == pytest.approx(1.0)
+    assert np.all(np.diff(weights) < 0)
+    # exponent 0 degenerates to uniform.
+    assert np.allclose(zipf_weights(8, 0.0), 1.0 / 8.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_weights(8, -0.5)
+    with pytest.raises(ValueError):
+        schedule(n_requests=0)
+    with pytest.raises(ValueError):
+        schedule(rate=0.0)
+    with pytest.raises(ValueError):
+        schedule(tenants=())
+    with pytest.raises(ValueError):
+        schedule(tenants=(OPS, TenantSpec("ops")))
+    with pytest.raises(ValueError):
+        TenantSpec("x", share=0.0)
+    with pytest.raises(ValueError):
+        TenantSpec("")
+
+
+def test_empty_schedule_properties():
+    empty = TrafficSchedule(
+        times=np.empty(0),
+        tenant_ids=np.empty(0, dtype=np.int64),
+        ranks=np.empty(0, dtype=np.int64),
+        field_ids=np.empty(0, dtype=np.int64),
+        tenant_names=("ops",),
+    )
+    assert len(empty) == 0
+    assert empty.duration == 0.0
+    assert len(empty.rank_counts()) == 0
+    assert empty.tenant_counts() == {"ops": 0}
