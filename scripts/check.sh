@@ -35,3 +35,19 @@ PYTHONPATH=src python scripts/check_backend_identity.py --jobs 2
 
 echo "== serving smoke: cache-hit, qos shedding, replication tail cuts =="
 PYTHONPATH=src python scripts/ci_serving_smoke.py --jobs 2
+
+echo "== operational cycle: bulk-admission contention figure smoke =="
+PYTHONPATH=src python - <<'EOF'
+from repro.experiments import run_experiment
+
+for backend in ("daos", "posixfs"):
+    result = run_experiment("operational_cycle", scale="ci", backend=backend)
+    rows = [row for row in result.rows if row[1] == "off"]
+    assert len(rows) >= 3, rows
+    bandwidths = [float(row[2]) for row in rows]
+    assert bandwidths[0] >= bandwidths[-1], bandwidths  # readers contend writers
+    assert all(row[5] > 0 for row in rows), rows        # vectorized puts used
+    assert all(row[6] > 0 for row in rows[1:]), rows    # vectorized gets used
+    print(f"  {backend}: write bw {bandwidths[0]} -> {bandwidths[-1]} GiB/s "
+          f"under {rows[-1][0]} readers: ok")
+EOF

@@ -7,10 +7,11 @@ reference (``benchmarks/bench_quick_baseline.json``):
 1. every scenario's digest matches — a kernel change that moves any event
    timestamp by one ulp fails here, which is the determinism contract every
    solver optimisation must keep;
-2. the timed gate scenarios (``many_flow_contention``, ``flow_storm_5k``
-   and ``flow_storm_100k`` — the ones that exercise the batched, vectorized
-   max-min solver, hierarchical aggregation and the calendar-queue
-   scheduler) have not
+2. the timed gate scenarios (``many_flow_contention``, ``flow_storm_5k``,
+   ``flow_storm_100k`` and ``flow_storm_100k_bulk`` — the ones that
+   exercise the batched, vectorized max-min solver, hierarchical
+   aggregation, the calendar-queue scheduler and the bulk-admission fast
+   path) have not
    regressed by more than ``--slack`` (default 25%) against the reference
    wall time, after scaling by a per-run calibration factor measured on the
    untimed scenarios so a slower CI runner does not trip the gate.
@@ -37,7 +38,14 @@ REFERENCE = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_quick
 #: Scenarios whose wall time gates the solver's performance.
 #: ``flow_storm_100k`` runs its trimmed quick shape here (2 waves x 20k
 #: flows) — enough to exercise aggregation and the calendar-queue wheel.
-GATED = ("many_flow_contention", "flow_storm_5k", "flow_storm_100k")
+#: ``flow_storm_100k_bulk`` is the same storm admitted wave-at-a-time
+#: through ``admit_flows`` (its digest must equal ``flow_storm_100k``'s).
+GATED = (
+    "many_flow_contention",
+    "flow_storm_5k",
+    "flow_storm_100k",
+    "flow_storm_100k_bulk",
+)
 
 
 def main(argv=None) -> int:

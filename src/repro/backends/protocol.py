@@ -142,3 +142,12 @@ class StorageClient(Protocol):
     def request_array_read(self, array, offset, length): ...
 
     def request_array_close(self, array): ...
+
+    # -- vectorized multi-op submission -------------------------------------------
+    def request_multi(self, requests, op: str = "multi"): ...
+
+    def submit_multi(self, requests, op: str = "multi"): ...
+
+    def kv_put_many(self, kv, items): ...
+
+    def kv_get_many(self, kv, keys): ...

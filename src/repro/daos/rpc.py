@@ -86,6 +86,12 @@ class Request:
     #: object is accepted and stringified only when rendered — hot paths
     #: pass the raw key instead of paying for a repr per request.
     detail: object = ""
+    #: For a vectorized multi-op submit (``DaosClient.request_multi``):
+    #: the sub-requests this request carries, in execution order.  ``None``
+    #: for ordinary single-op requests.  Middleware may introspect the
+    #: tuple — QoS admission, for one, meters a token per covered sub-op
+    #: so batching cannot launder rate limits.
+    subrequests: Optional[tuple] = None
 
     @property
     def is_data(self) -> bool:

@@ -106,6 +106,11 @@ def serving_point(
             replication=replication,
             promote_threshold=promote_threshold,
             workers_per_tenant=workers,
+            # One simulated gateway stands in for a fleet of instances:
+            # same-gateway miss coalescing would absorb the cross-gateway
+            # thundering herd these sweeps measure (QoS meltdown, rollover
+            # replication), so the sweeps pin it off.
+            coalesce=False,
         ),
     )
     policy = (

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig6,
     fig7,
     interfaces,
+    operational_cycle,
     product_serving,
     rebuild,
     table1,
@@ -41,6 +42,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale, int], ExperimentResult]] = {
     "backend_compare": backend_compare.run,
     "interfaces": interfaces.run,
     "product_serving": product_serving.run,
+    "operational_cycle": operational_cycle.run,
 }
 
 #: Experiments tied to DAOS-only machinery (health schedules, pool-map

@@ -279,6 +279,44 @@ class FieldIO:
         yield from self.client.array_write(array, 0, payload, pool=self.pool)
         yield from self.client.array_close(array)
 
+    def write_many(self, items):
+        """Store many fields, batching all index updates into one multi-op.
+
+        ``items`` is an iterable of ``(key, payload)`` pairs.  Each field's
+        array is created, written and closed exactly as :meth:`write` would
+        (same simulated timeline), but the forecast-index ``kv_put``\\ s are
+        accumulated and submitted as a single vectorized
+        ``kv_put_multi`` — one chain traversal for the whole wave instead of
+        one per field, which is where an ensemble flush's index-update storm
+        spends its client-side overhead.  In NO_INDEX mode there are no
+        index entries, so this degrades to a plain loop over :meth:`write`.
+        """
+        items = list(items)
+        if self.mode is FieldIOMode.NO_INDEX:
+            for key, payload in items:
+                yield from self.write(key, payload)
+            return
+        client = self.client
+        puts = []
+        for key, payload in items:
+            self.schema.validate(key)
+            if not isinstance(payload, Payload):
+                payload = BytesPayload(bytes(payload))
+            msk = self.schema.msk(key)
+            lsk = self.schema.lsk(key)
+            handles = yield from self._forecast_for_write(msk)
+            array = yield from client.array_create(
+                handles.store_container, self.array_oclass
+            )
+            ref = _encode_field_ref(
+                handles.store_container.uuid, array.oid, payload.size
+            )
+            yield from client.array_write(array, 0, payload, pool=self.pool)
+            yield from client.array_close(array)
+            puts.append(client.request_kv_put(handles.index_kv, lsk.encode(), ref))
+        if puts:
+            yield from client.submit_multi(puts, op="kv_put_multi")
+
     # -- Algorithm 2: field read ------------------------------------------------------
     def read(self, key: FieldKey):
         """Retrieve the field stored under ``key`` (Algorithm 2).
@@ -312,6 +350,53 @@ class FieldIO:
         payload = yield from client.array_read(array, 0, size)
         yield from client.array_close(array)
         return payload
+
+    def read_many(self, keys):
+        """Retrieve many fields, batching all index lookups into one multi-op.
+
+        Returns the payloads in key order.  The forecast-index ``kv_get``\\ s
+        for the whole batch go out as a single vectorized ``kv_get_multi``
+        (one chain traversal; QoS still meters one token per lookup), then
+        each field's array is opened, read and closed exactly as
+        :meth:`read` would.  Raises :class:`FieldNotFoundError` on the first
+        missing field.  NO_INDEX mode has no index lookups to batch and
+        degrades to a plain loop over :meth:`read`.
+        """
+        keys = list(keys)
+        if self.mode is FieldIOMode.NO_INDEX:
+            payloads = []
+            for key in keys:
+                payload = yield from self.read(key)
+                payloads.append(payload)
+            return payloads
+        client = self.client
+        gets = []
+        per_key = []
+        for key in keys:
+            self.schema.validate(key)
+            msk = self.schema.msk(key)
+            handles = yield from self._forecast_for_read(msk)
+            gets.append(
+                client.request_kv_get(handles.index_kv, self.schema.lsk(key).encode())
+            )
+            per_key.append(handles)
+        refs = []
+        if gets:
+            refs = yield from client.submit_multi(gets, op="kv_get_multi")
+        payloads = []
+        for key, handles, ref in zip(keys, per_key, refs):
+            if ref is None:
+                raise FieldNotFoundError(f"field {key.canonical()!r} not found")
+            store_uuid, oid, size = _decode_field_ref(ref)
+            if store_uuid != handles.store_container.uuid:
+                store = yield from client.container_open(self.pool, store_uuid)
+            else:
+                store = handles.store_container
+            array = yield from client.array_open(store, oid)
+            payload = yield from client.array_read(array, 0, size)
+            yield from client.array_close(array)
+            payloads.append(payload)
+        return payloads
 
     def read_request(self, request):
         """Retrieve every field a :class:`~repro.fdb.request.Request` covers.

@@ -402,6 +402,9 @@ class FlowNetwork:
         #: Statistics: total completed flows and bytes moved.
         self.completed_flows = 0
         self.completed_bytes = 0.0
+        #: Flows cancelled via :meth:`evict_flows` (not counted as
+        #: completed; their moved bytes are not in ``completed_bytes``).
+        self.evicted_flows = 0
         #: Instrumentation: water-filling solver invocations and flow-set
         #: changes (arrivals + departures).  ``solver_runs`` well below
         #: ``flow_changes`` is the same-instant batching at work.
@@ -572,10 +575,195 @@ class FlowNetwork:
             self.sim.request_flush(self._flush_recompute)
         return done
 
+    def admit_flows(
+        self,
+        specs: Sequence[Tuple],
+        name: str = "",
+    ) -> List[Event]:
+        """Admit a whole wave of transfers in one batched call.
+
+        ``specs`` is a sequence of ``(path, nbytes)``,
+        ``(path, nbytes, rate_cap)`` or ``(path, nbytes, rate_cap, name)``
+        tuples; ``name`` is the default flow name for specs that do not
+        carry their own.  Returns the per-flow completion events in spec
+        order.
+
+        Bit-identical to calling :meth:`transfer` once per spec in the
+        same order: fid assignment, ``_active``/link insertion orders,
+        group creation order and the single end-of-instant solve all match
+        the sequential loop (same-instant batching already coalesces the
+        solves — what this call strips is the per-flow method dispatch,
+        argument validation re-entry, flush arming and name interning,
+        which dominate admission cost at 100k flows per wave).
+        """
+        sim = self.sim
+        now = sim._now
+        default_ename = _sintern("flow:" + name) if name else "flow:"
+        fids = self._fid
+        active = self._active
+        dirty_flows = self._dirty_flows
+        groups = self._groups
+        groups_get = groups.get
+        events: List[Event] = []
+        append = events.append
+        # transfer() only advances progress when admitting a nonzero-size
+        # flow; a batch must replicate that laziness — advancing for a
+        # zero-byte-only batch would split later rate debits into two
+        # steps, which is not bitwise the same as the one-step debit.
+        advanced = now <= self._last_advance
+        changes = 0
+        for spec in specs:
+            if len(spec) == 2:
+                path, nbytes = spec
+                rate_cap = _INF
+                fname = name
+            elif len(spec) == 3:
+                path, nbytes, rate_cap = spec
+                fname = name
+            else:
+                path, nbytes, rate_cap, fname = spec
+            if nbytes < 0:
+                raise ValueError(
+                    f"transfer size must be non-negative, got {nbytes}"
+                )
+            if rate_cap <= 0:
+                raise ValueError(f"rate cap must be positive, got {rate_cap}")
+            if fname is name:
+                ename = default_ename
+            else:
+                ename = _sintern("flow:" + fname) if fname else "flow:"
+            done = Event(sim, name=ename)
+            append(done)
+            tpath = tuple(path)
+            flow = Flow(next(fids), tpath, nbytes, rate_cap, done, name=fname)
+            flow.start_time = now
+            if nbytes == 0:
+                flow.end_time = now
+                flow.done = None  # break the cycle, as in transfer()
+                done.succeed(flow)
+                continue
+            if not tpath and not math.isfinite(rate_cap):
+                raise ValueError(
+                    "a flow needs a non-empty path or a finite rate cap"
+                )
+            if not advanced:
+                self._advance_to_now()
+                advanced = True
+            changes += 1
+            flow._net = self
+            active[flow] = None
+            dirty_flows[flow] = None
+            if tpath:
+                key = (tpath, flow.rate_cap)
+            else:
+                key = flow.fid  # singleton group (see FlowGroup docstring)
+            group = groups_get(key)
+            if group is None:
+                groups[key] = group = FlowGroup(key, tpath, flow.rate_cap)
+                if len(tpath) > 1:
+                    self._register_pairs(group)
+            for link, mult in group.occ_items:
+                link.flows[flow] = mult
+            if not tpath:
+                self._pathless_active += 1
+            group.n += 1
+            flow.group = group
+            if group.gid >= 0:
+                self._g_n[group.gid] = group.n
+        if changes:
+            self.flow_changes += changes
+            if not self._recompute_pending:
+                self._recompute_pending = True
+                sim.request_flush(self._flush_recompute)
+        return events
+
+    def evict_flows(self, flows: Sequence[Flow]) -> int:
+        """Cancel a batch of in-flight flows in one group/arena operation.
+
+        Mirrors a completion wave (:meth:`_on_wake`): each evicted flow
+        leaves its links and aggregation group, its ``end_time`` is
+        stamped with the current instant, and its done event succeeds
+        with the (partially transferred) flow — callers distinguish an
+        eviction from a completion by ``flow.remaining > 0``.  Flows not
+        currently active are skipped.  One end-of-instant solve serves the
+        whole batch; large batches compact the vector arena in a single
+        keep-mask pass.  Returns the number of flows evicted.
+        """
+        if self.sim._now > self._last_advance:
+            self._advance_to_now()
+        now = self.sim.now
+        active = self._active
+        # De-duplicated, order-preserving filter: double-listing a flow
+        # must not double-decrement its group.
+        victims = list(dict.fromkeys(f for f in flows if f in active))
+        if not victims:
+            return 0
+        dirty = self._dirty
+        groups = self._groups
+        batch = self._vector and len(victims) >= 64
+        touched = {}
+        for flow in victims:
+            touched[flow.group] = None
+        for group in touched:
+            for link, _ in group.occ_items:
+                dirty[link] = None
+        rem_v = self._rem_v
+        done_pos: List[int] = []
+        for flow in victims:
+            del active[flow]
+            group = flow.group
+            for link, _ in group.occ_items:
+                link.flows.pop(flow, None)
+            if not group.path:
+                self._pathless_active -= 1
+            group.n -= 1
+            if group.n == 0:
+                del groups[group.key]
+                if len(group.path) > 1:
+                    self._unregister_pairs(group)
+                if group.gid >= 0:
+                    self._g_retire(group)
+            elif group.gid >= 0:
+                self._g_n[group.gid] = group.n
+            flow.group = None
+            pos = flow.pos
+            if pos >= 0:
+                # Preserve the byte count the flow was cancelled at — the
+                # arena column is about to be recycled.
+                flow._rem = float(rem_v[pos])
+                if batch:
+                    done_pos.append(pos)
+                    flow.pos = -1
+                else:
+                    self._evict(flow)
+            flow._net = None
+            flow._rate = 0.0
+            flow._dl = None
+            flow.end_time = now
+        n_evicted = len(victims)
+        self.flow_changes += n_evicted
+        self.evicted_flows += n_evicted
+        if batch:
+            self._evict_batch(np.asarray(done_pos, dtype=np.int64))
+        self._schedule_recompute()
+        for flow in victims:
+            done = flow.done
+            flow.done = None  # break the flow<->event cycle (see _on_wake)
+            done.succeed(flow)
+        return n_evicted
+
     @property
     def active_flows(self) -> int:
         """Number of flows currently in flight."""
         return len(self._active)
+
+    def flows(self) -> List["Flow"]:
+        """The flows currently in flight, in admission order.
+
+        The handles :meth:`evict_flows` takes; the list is a snapshot, so
+        callers may evict while iterating it.
+        """
+        return list(self._active)
 
     @property
     def active_groups(self) -> int:

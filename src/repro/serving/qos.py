@@ -127,16 +127,40 @@ class QosAdmissionMiddleware(Middleware):
         self.shed = 0
         self.max_waiting = 0
 
+    def _tokens_for(self, request: Request) -> int:
+        """Tokens the request must reserve: 0 = pass through unmetered.
+
+        A vectorized multi-op submit carries its sub-requests on the
+        wrapper (``request.subrequests``); each covered sub-op costs one
+        token, so batching N index lookups into one RPC still pays the N
+        tokens the sequential path would — the per-field-read limit cannot
+        be laundered through batching.
+        """
+        ops = self.ops
+        if ops is None or request.op in ops:
+            return 1
+        subs = request.subrequests
+        if subs:
+            return sum(1 for sub in subs if sub.op in ops)
+        return 0
+
     def handle(self, client, request: Request, call):
-        if self.ops is not None and request.op not in self.ops:
+        tokens = self._tokens_for(request)
+        if tokens == 0:
             result = yield from call(client, request)
             return result
         now = client.sim.now
-        wait = self.bucket.reserve(now)
+        bucket = self.bucket
+        wait = bucket.reserve(now)
+        for _ in range(tokens - 1):
+            # Later reservations are strictly later on the virtual clock,
+            # so the last one bounds the whole batch's wait.
+            wait = bucket.reserve(now)
         if wait > 0.0:
             if self.waiting >= self.policy.max_queue_depth:
                 self.shed += 1
-                self.bucket.cancel(now)
+                for _ in range(tokens):
+                    bucket.cancel(now)
                 client.sim.record(
                     "qos_shed", tenant=self.tenant, op=request.op, wait=wait
                 )
@@ -152,6 +176,6 @@ class QosAdmissionMiddleware(Middleware):
                 yield client.sim.timeout(wait)
             finally:
                 self.waiting -= 1
-        self.admitted += 1
+        self.admitted += tokens
         result = yield from call(client, request)
         return result

@@ -261,6 +261,37 @@ class Simulator:
         """Wrap a generator into a running simulated :class:`Process`."""
         return Process(self, generator, name=name)
 
+    def spawn_batch(
+        self, generators: Iterable[Generator], name: str = ""
+    ) -> List[Process]:
+        """Spawn a wave of processes on one shared bootstrap event.
+
+        Event-order identical to calling :meth:`process` in a loop at one
+        instant: per-process bootstraps would occupy consecutive queue
+        slots and dispatch back-to-back, each resuming its process —
+        exactly what one shared bootstrap's callback list replays, in the
+        same order, before any event the resumed processes themselves
+        scheduled (those carry later sequence numbers either way).  What
+        the batch saves is the per-process heap/wheel insertion and the
+        per-process ``f"{name}:start"`` string build, which at
+        100k-process waves is a measurable slice of spawn cost.
+
+        All processes share ``name`` (or fall back to their generator's
+        ``__name__``), so per-process name formatting is the caller's
+        choice, not an obligation.
+        """
+        bootstrap = Event(self, name=(name + ":start") if name else "batch:start")
+        processes = [
+            Process(self, generator, name=name, bootstrap=bootstrap)
+            for generator in generators
+        ]
+        if not processes:
+            return processes
+        bootstrap._ok = True
+        bootstrap._value = None
+        self._enqueue_triggered(bootstrap)
+        return processes
+
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all of ``events`` have succeeded."""
         return AllOf(self, events)

@@ -30,7 +30,13 @@ class Process(Event):
 
     __slots__ = ("_generator", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = "") -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: str = "",
+        bootstrap: Optional[Event] = None,
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(
                 f"process body must be a generator, got {type(generator).__name__}"
@@ -38,6 +44,11 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", ""))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        if bootstrap is not None:
+            # Batch spawn (see Simulator.spawn_batch): ride a shared
+            # bootstrap event the caller enqueues once for the whole wave.
+            bootstrap.callbacks.append(self._resume)
+            return
         # Kick off the process via an immediately-triggered bootstrap event.
         bootstrap = Event(sim, name=f"{self.name}:start")
         bootstrap.callbacks.append(self._resume)

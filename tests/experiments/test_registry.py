@@ -9,7 +9,7 @@ def test_registry_covers_every_table_and_figure():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
         "ablation_async", "rebuild", "backend_compare", "interfaces",
-        "product_serving",
+        "product_serving", "operational_cycle",
     }
 
 
