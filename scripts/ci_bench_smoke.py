@@ -8,10 +8,10 @@ reference (``benchmarks/bench_quick_baseline.json``):
    timestamp by one ulp fails here, which is the determinism contract every
    solver optimisation must keep;
 2. the timed gate scenarios (``many_flow_contention``, ``flow_storm_5k``,
-   ``flow_storm_100k`` and ``flow_storm_100k_bulk`` — the ones that
-   exercise the batched, vectorized max-min solver, hierarchical
-   aggregation, the calendar-queue scheduler and the bulk-admission fast
-   path) have not
+   ``flow_storm_100k``, ``flow_storm_100k_bulk`` and ``rpc_storm`` — the
+   ones that exercise the batched, vectorized max-min solver, hierarchical
+   aggregation, the calendar-queue scheduler, the bulk-admission fast
+   path and the metadata-plane RPC fast path) have not
    regressed by more than ``--slack`` (default 25%) against the reference
    wall time, after scaling by a per-run calibration factor measured on the
    untimed scenarios so a slower CI runner does not trip the gate.
@@ -40,11 +40,14 @@ REFERENCE = Path(__file__).resolve().parent.parent / "benchmarks" / "bench_quick
 #: flows) — enough to exercise aggregation and the calendar-queue wheel.
 #: ``flow_storm_100k_bulk`` is the same storm admitted wave-at-a-time
 #: through ``admit_flows`` (its digest must equal ``flow_storm_100k``'s).
+#: ``rpc_storm`` gates the metadata-plane fast path (fused delay bodies +
+#: the plain-chain RPC specialisation) on both storage backends.
 GATED = (
     "many_flow_contention",
     "flow_storm_5k",
     "flow_storm_100k",
     "flow_storm_100k_bulk",
+    "rpc_storm",
 )
 
 

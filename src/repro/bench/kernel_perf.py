@@ -460,6 +460,105 @@ def _kv_storm(quick: bool) -> ScenarioResult:
     )
 
 
+# -- scenario: metadata-plane RPC storm ---------------------------------------------
+
+
+def _rpc_storm(quick: bool) -> ScenarioResult:
+    """64 clients hammering the metadata plane on both backends.
+
+    The workload the metadata fast path exists for: a herd of clients doing
+    small KV puts/gets on *private* per-rank index objects, salted with
+    ``container_exists`` probes and ``kv_remove`` calls — the FDB-style
+    index-maintenance mix of §5.2, with almost no lock contention, so the
+    per-op RPC machinery (middleware chain, event churn, resource grants)
+    dominates the wall clock.  The same storm runs against the DAOS and the
+    posixfs backend through :func:`~repro.bench.runner.build_deployment` +
+    ``system.make_client``; the digest folds in each backend's final
+    simulated clock, the op totals and the merged per-op metrics, so any
+    fast-path divergence — timing, counts or accounting — trips it.
+    """
+    from repro.bench.runner import build_deployment
+    from repro.daos.objclass import OC_S1
+    from repro.daos.oid import ObjectId
+    from repro.daos.rpc import merge_op_stats
+
+    processes_per_node, ops = (16, 30) if quick else (16, 120)
+    parts: List[str] = []
+    op_totals: Dict[str, int] = {}
+    sim_times: Dict[str, float] = {}
+
+    for backend in ("daos", "posixfs"):
+        config = ClusterConfig(n_server_nodes=2, n_client_nodes=4, seed=29)
+        cluster, system, pool = build_deployment(config, backend=backend)
+        sim = cluster.sim
+        addresses = cluster.client_addresses(processes_per_node)
+
+        boot_client = system.make_client(addresses[0])
+
+        def bootstrap(client=boot_client):
+            container = yield from client.container_create(
+                pool, label="rpc-storm", is_default=True
+            )
+            return container
+
+        boot = sim.process(bootstrap(), name="rpc-storm-boot")
+        sim.run(until=boot)
+        container = boot.value
+
+        clients = [system.make_client(address) for address in addresses]
+
+        def storm(rank, client, container=container, pool=pool):
+            kv = yield from client.kv_open(
+                container, ObjectId(1, 100 + rank), OC_S1
+            )
+            for op in range(ops):
+                key = f"idx/{rank}/{op}".encode()
+                yield from client.kv_put(kv, key, b"m" * 32)
+                value = yield from client.kv_get(kv, key)
+                assert value is not None
+                if op % 4 == 3:
+                    present = yield from client.container_exists(pool, "rpc-storm")
+                    assert present
+                if op % 8 == 7:
+                    yield from client.kv_remove(kv, key)
+
+        workers = [
+            sim.process(storm(rank, client), name=f"rpc{rank}")
+            for rank, client in enumerate(clients)
+        ]
+        start = time.perf_counter()
+        sim.run(until=sim.all_of(workers))
+        wall = time.perf_counter() - start
+
+        merged = merge_op_stats(client.op_metrics for client in clients)
+        sim_times[backend] = float(sim.now)
+        parts.append(f"{backend}|{float(sim.now).hex()}")
+        for op_name in sorted(merged):
+            entry = merged[op_name]
+            parts.append(
+                f"{backend}|{op_name}|{entry.count}|{entry.errors}"
+                f"|{entry.total_time.hex()}|{entry.total_bytes}"
+            )
+            op_totals[op_name] = op_totals.get(op_name, 0) + entry.count
+        op_totals[f"wall_{backend}"] = round(wall, 6)
+
+    total_ops = sum(
+        count for name, count in op_totals.items() if not name.startswith("wall_")
+    )
+    return ScenarioResult(
+        name="rpc_storm",
+        wall_s=op_totals["wall_daos"] + op_totals["wall_posixfs"],
+        sim_time=sim_times["daos"] + sim_times["posixfs"],
+        digest=_hexdigest(parts),
+        extra={
+            "processes": len(addresses),
+            "ops_per_process": ops,
+            "total_ops": total_ops,
+            **{k: v for k, v in op_totals.items() if k.startswith("wall_")},
+        },
+    )
+
+
 # -- scenario: small Field I/O run --------------------------------------------------
 
 
@@ -558,6 +657,7 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioResult]] = {
     "flow_storm_100k": _flow_storm_100k,
     "flow_storm_100k_bulk": _flow_storm_100k_bulk,
     "kv_storm": _kv_storm,
+    "rpc_storm": _rpc_storm,
     "fieldio_small": _fieldio_small,
     "grid_fanout": _grid_fanout,
 }

@@ -25,6 +25,7 @@ the same container are free after the first.
 from __future__ import annotations
 
 import hashlib
+import os
 import uuid as uuid_module
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -55,6 +56,7 @@ from repro.daos.rpc import (
 )
 from repro.daos.system import DaosSystem
 from repro.network.fabric import NodeSocket
+from repro.simulation.events import PENDING, Event
 
 __all__ = ["DaosClient", "default_middleware"]
 
@@ -89,6 +91,133 @@ def default_middleware(config) -> List[Middleware]:
     if fault.enabled:
         chain.append(FaultInjectionMiddleware(fault))
     return chain
+
+
+class _FastDriver(Event):
+    """Flat driver for one metadata op on the fast path.
+
+    The driver *is* the event the calling process waits on: the public op
+    method returns ``(yield driver)``, so the whole op costs the caller one
+    suspension instead of one per simulated wait.  The op body is a special
+    *fast body* generator that may yield
+
+    * a ``float``/``int`` — a fused delay: the driver re-arms its recycled
+      lane event (``Simulator.lane_acquire``) for that delay, replacing a
+      fresh ``Timeout`` allocation per wait;
+    * an :class:`~repro.simulation.events.Event` — e.g. a contended lock or
+      resource grant, or a bulk transfer: the driver waits on it exactly
+      like ``Process._step`` would.
+
+    When the body returns, the driver records the op's metrics epilogue
+    (the exact :class:`~repro.daos.rpc.MetricsMiddleware` accounting) and
+    finishes *synchronously* inside the final event's callback slot — no
+    completion event travels through the queue, so the caller resumes at
+    the same ``(time, seq)`` boundary the generic ``yield from`` chain
+    resumes at.  Failures mirror the generic path too: the epilogue
+    observes ``ok=False`` and the exception is thrown into the caller at
+    its yield (or re-raised synchronously from ``_fast_submit`` when the
+    body fails before its first wait).
+
+    Drivers and their lane events are pooled (per client / per simulator),
+    so a storm of metadata ops allocates O(concurrent ops) objects rather
+    than several events, closures and middleware frames per op.
+    """
+
+    __slots__ = ("_client", "_body", "_lane", "_cbs", "_entry", "_nbytes", "_start")
+
+    def __init__(self, client: "DaosClient") -> None:
+        self.sim = client.sim
+        self.name = "fastop"
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._client = client
+        #: Persistent one-element callback list installed on the lane event
+        #: each time it is re-armed (the dispatcher nulls ``event.callbacks``
+        #: but never mutates the list itself).
+        self._cbs = [self._advance]
+        self._body = None
+        self._lane = None
+        self._entry = None
+        self._nbytes = 0
+        self._start = 0.0
+
+    def _advance(self, event: Event) -> None:
+        """Resume the body with ``event``'s outcome (Process._resume's job)."""
+        if event._ok:
+            self._drive(event._value, False)
+        else:
+            event.defuse()
+            self._drive(event._value, True)
+
+    def _drive(self, payload, as_exception: bool) -> None:
+        """Advance the body until it suspends on a wait or finishes."""
+        body = self._body
+        sim = self.sim
+        while True:
+            try:
+                if as_exception:
+                    target = body.throw(payload)
+                else:
+                    target = body.send(payload)
+            except StopIteration as stop:
+                self._finish(stop.value, None)
+                return
+            except BaseException as exc:
+                self._finish(None, exc)
+                return
+
+            cls = type(target)
+            if cls is float or cls is int:
+                # Fused delay: re-arm the recycled lane event.
+                lane = self._lane
+                lane._value = PENDING
+                lane.callbacks = self._cbs
+                sim._schedule(target, lane)
+                return
+            # An Event (contended grant, bulk transfer, ...): wait like a
+            # process would — or continue inline if it is already processed.
+            callbacks = target.callbacks
+            if callbacks is None:
+                if target._ok:
+                    payload = target._value
+                    as_exception = False
+                else:
+                    target.defuse()
+                    payload = target._value
+                    as_exception = True
+                continue
+            callbacks.append(self._advance)
+            return
+
+    def _finish(self, value, error: Optional[BaseException]) -> None:
+        """Metrics epilogue + synchronous completion (no queue round trip)."""
+        sim = self.sim
+        self._entry.observe(sim._now - self._start, self._nbytes, ok=error is None)
+        if error is None:
+            self._ok = True
+            self._value = value
+        else:
+            self._ok = False
+            self._value = error
+        callbacks = self.callbacks
+        self.callbacks = None
+        for callback in callbacks:
+            callback(self)
+        # Recycle only after the caller resumed: a nested fast op started
+        # inside the callback must not grab this driver mid-finish.
+        client = self._client
+        sim.lane_release(self._lane)
+        self._lane = None
+        self._body = None
+        self._entry = None
+        client._driver_pool.append(self)
+        if error is not None and not callbacks and not self._defused:
+            # Nobody was waiting: surface the failure like the dispatcher
+            # does for an unhandled failed event.  ``_fast_submit`` relies
+            # on this for exceptions raised before the body's first wait.
+            raise error
 
 
 class DaosClient:
@@ -140,12 +269,256 @@ class DaosClient:
             middleware = default_middleware(self.config)
         self.middleware = middleware
         self._chain = compose_chain(middleware)
+        #: Metadata fast path engages only when the chain is plain (exactly
+        #: metrics + tracing — no fault/retry/QoS/pool-map middleware to
+        #: honour) and health is off (no degraded routing / authoritative
+        #: target checks).  ``REPRO_RPC_FAST=0`` is the escape hatch; per
+        #: call the tracer must also be absent (mid-run installation falls
+        #: back to the generic chain).
+        self._fast_ok = (
+            os.environ.get("REPRO_RPC_FAST", "") != "0"
+            and not self._health
+            and len(middleware) == 2
+            and type(middleware[0]) is MetricsMiddleware
+            and type(middleware[1]) is TracingMiddleware
+        )
+        #: Recycled fast-op drivers (see :class:`_FastDriver`).
+        self._driver_pool: List[_FastDriver] = []
 
     # -- RPC submission ----------------------------------------------------------
     def _submit(self, request: Request):
         """Drive ``request`` through the middleware chain (blocking caller)."""
         result = yield from self._chain(self, request)
         return result
+
+    # -- metadata fast path -------------------------------------------------------
+    def _fast_submit(self, op: str, body, nbytes: int) -> _FastDriver:
+        """Launch ``body`` on a pooled :class:`_FastDriver`.
+
+        Runs the exact :class:`~repro.daos.rpc.MetricsMiddleware` prologue,
+        then drives the body's first step synchronously — an exception
+        raised before the first wait propagates out of this call, just as
+        it would through the generic ``yield from`` chain.  The returned
+        driver is the event the public op method yields once.
+        """
+        stats = self.stats
+        stats[op] = stats.get(op, 0) + 1
+        entry = self.op_metrics.get(op)
+        if entry is None:
+            self.op_metrics[op] = entry = OpStats()
+        pool = self._driver_pool
+        driver = pool.pop() if pool else _FastDriver(self)
+        driver.callbacks = []
+        driver._value = PENDING
+        driver._ok = True
+        driver._defused = False
+        driver._body = body
+        driver._lane = self.sim.lane_acquire()
+        driver._entry = entry
+        driver._nbytes = nbytes
+        driver._start = self.sim._now
+        driver._drive(None, False)
+        return driver
+
+    def _service_slow(self, service, service_time: float):
+        """Contended-grant fallback of the fast bodies' service elision.
+
+        A fast-body sub-generator: the grant travels as a real event (so
+        FIFO ordering against every queued waiter is untouched) and the
+        service window as a fused lane delay.
+        """
+        request = service.request()
+        yield request
+        try:
+            yield service_time
+        finally:
+            service.release(request)
+
+    def _fast_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
+        """Fused-delay body of :meth:`kv_put` (timeline of ``_do_kv_put``)."""
+        sim = self.sim
+        bulk = self._kv_bulk_size(value)
+        yield self._message_latency
+        lock = kv.lock
+        if not (sim.peek() > sim._now and lock.try_acquire_write()):
+            yield lock.acquire_write()
+        try:
+            service_time = self.config.kv_put_service_time
+            for target in self._kv_write_targets(kv, key):
+                service = self.system.target(target).service
+                if sim.peek() > sim._now and service.try_acquire():
+                    try:
+                        yield service_time
+                    finally:
+                        service.release_direct()
+                else:
+                    yield from self._service_slow(service, service_time)
+                if bulk:
+                    yield from self._kv_bulk(target, bulk, write=True)
+            kv.put(key, value)
+        finally:
+            lock.release_write()
+        yield self._message_latency
+
+    def _fast_kv_get(self, kv: KeyValueObject, key: bytes):
+        """Fused-delay body of :meth:`kv_get_or_none`."""
+        sim = self.sim
+        yield self._message_latency
+        lock = kv.lock
+        if not (sim.peek() > sim._now and lock.try_acquire_write()):
+            yield lock.acquire_write()
+        try:
+            service = self.system.target(self._key_target(kv, key)).service
+            service_time = self.config.kv_get_service_time
+            if sim.peek() > sim._now and service.try_acquire():
+                try:
+                    yield service_time
+                finally:
+                    service.release_direct()
+            else:
+                yield from self._service_slow(service, service_time)
+            value = kv.get_or_none(key)
+        finally:
+            lock.release_write()
+        bulk = self._kv_bulk_size(value)
+        if bulk:
+            yield from self._kv_bulk(self._key_target(kv, key), bulk, write=False)
+        yield self._message_latency
+        return value
+
+    def _fast_kv_remove(self, kv: KeyValueObject, key: bytes):
+        """Fused-delay body of :meth:`kv_remove`."""
+        sim = self.sim
+        yield self._message_latency
+        lock = kv.lock
+        if not (sim.peek() > sim._now and lock.try_acquire_write()):
+            yield lock.acquire_write()
+        try:
+            service_time = self.config.kv_put_service_time
+            for target in self._kv_write_targets(kv, key):
+                service = self.system.target(target).service
+                if sim.peek() > sim._now and service.try_acquire():
+                    try:
+                        yield service_time
+                    finally:
+                        service.release_direct()
+                else:
+                    yield from self._service_slow(service, service_time)
+            kv.remove(key)
+        finally:
+            lock.release_write()
+        yield self._message_latency
+
+    def _fast_kv_open(self, kv: KeyValueObject):
+        """Fused-delay body of :meth:`kv_open`."""
+        sim = self.sim
+        yield self._message_latency
+        service = self.system.target(self._lead_target(kv)).service
+        service_time = self.config.rpc_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return kv
+
+    def _fast_container_exists(self, pool: Pool, ref: ContainerRef):
+        """Fused-delay body of :meth:`container_exists`."""
+        sim = self.sim
+        yield self._message_latency
+        service = self.system.pool_service
+        service_time = self.config.rpc_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return pool.has_container(ref)
+
+    def _fast_container_touch(self, container: Container):
+        """Fused-delay counterpart of :meth:`_container_touch`."""
+        if container.is_default:
+            return
+        sim = self.sim
+        service = self.system.pool_service
+        service_time = self.config.container_touch_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+
+    def _fast_array_create(self, container: Container, array: ArrayObject):
+        """Fused-delay body of :meth:`array_create`."""
+        sim = self.sim
+        yield self._message_latency
+        yield from self._fast_container_touch(container)
+        service = self.system.target(self._lead_target(array)).service
+        service_time = self.config.array_create_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return array
+
+    def _fast_array_open(self, container: Container, array: ArrayObject):
+        """Fused-delay body of :meth:`array_open`."""
+        sim = self.sim
+        yield self._message_latency
+        yield from self._fast_container_touch(container)
+        service = self.system.target(self._lead_target(array)).service
+        service_time = self.config.array_open_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return array
+
+    def _fast_array_close(self, array: ArrayObject):
+        """Fused-delay body of :meth:`array_close` (no leading latency)."""
+        sim = self.sim
+        service = self.system.target(self._lead_target(array)).service
+        service_time = self.config.array_close_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+
+    def _fast_array_get_size(self, array: ArrayObject):
+        """Fused-delay body of :meth:`array_get_size`."""
+        sim = self.sim
+        yield self._message_latency
+        service = self.system.target(self._lead_target(array)).service
+        service_time = self.config.rpc_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return array.size
 
     def eq_create(self, name: str = "eq") -> EventQueue:
         """A fresh event queue for asynchronous submissions (``daos_eq_create``)."""
@@ -441,6 +814,12 @@ class DaosClient:
 
     def container_exists(self, pool: Pool, ref: ContainerRef):
         """Probe existence (a pool-service lookup)."""
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit(
+                    "container_exists", self._fast_container_exists(pool, ref), 0
+                )
+            )
         return (
             yield from self._submit(
                 Request(
@@ -516,6 +895,8 @@ class DaosClient:
         kv = container.get_or_create_kv(oid, oclass)
         if kv.lock is None:
             self.system.register_object(kv, oclass, container_salt=container.uuid.int)
+        if self._fast_ok and self.sim.tracer is None:
+            return (yield self._fast_submit("kv_open", self._fast_kv_open(kv), 0))
         return (
             yield from self._submit(
                 Request(
@@ -548,6 +929,12 @@ class DaosClient:
         time), which is the mechanism behind the paper's shared-index-KV
         contention (§5.2, Fig 4).
         """
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit(
+                    "kv_put", self._fast_kv_put(kv, key, value), len(value)
+                )
+            )
         return (yield from self._submit(self.request_kv_put(kv, key, value)))
 
     def _kv_write_targets(self, kv: KeyValueObject, key: bytes) -> List[int]:
@@ -626,6 +1013,8 @@ class DaosClient:
         service time — VOS dkey-tree descent on a hot shared object is what
         bends the Fig 4 read curves.
         """
+        if self._fast_ok and self.sim.tracer is None:
+            return (yield self._fast_submit("kv_get", self._fast_kv_get(kv, key), 0))
         return (yield from self._submit(self.request_kv_get(kv, key)))
 
     def _do_kv_get_or_none(self, kv: KeyValueObject, key: bytes):
@@ -675,6 +1064,10 @@ class DaosClient:
 
     def kv_remove(self, kv: KeyValueObject, key: bytes):
         """Remove a key (same serialisation as a put)."""
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit("kv_remove", self._fast_kv_remove(kv, key), 0)
+            )
         return (
             yield from self._submit(
                 Request(
@@ -709,6 +1102,12 @@ class DaosClient:
         array = container.get_or_create_array(oid, oclass)
         if array.lock is None:
             self.system.register_object(array, oclass, container_salt=container.uuid.int)
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit(
+                    "array_create", self._fast_array_create(container, array), 0
+                )
+            )
         return (
             yield from self._submit(
                 Request(
@@ -733,6 +1132,12 @@ class DaosClient:
         array = container.get_object(oid)
         if not isinstance(array, ArrayObject):
             raise InvalidArgumentError(f"object {oid} is not an Array")
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit(
+                    "array_open", self._fast_array_open(container, array), 0
+                )
+            )
         return (
             yield from self._submit(
                 Request(
@@ -761,6 +1166,10 @@ class DaosClient:
 
     def array_close(self, array: ArrayObject):
         """Close an array handle (flush + release)."""
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit("array_close", self._fast_array_close(array), 0)
+            )
         return (yield from self._submit(self.request_array_close(array)))
 
     def _do_array_close(self, array: ArrayObject):
@@ -771,6 +1180,12 @@ class DaosClient:
 
     def array_get_size(self, array: ArrayObject):
         """Query the array size (a lead-target RPC)."""
+        if self._fast_ok and self.sim.tracer is None:
+            return (
+                yield self._fast_submit(
+                    "array_get_size", self._fast_array_get_size(array), 0
+                )
+            )
         return (
             yield from self._submit(
                 Request(

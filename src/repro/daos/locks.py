@@ -81,6 +81,21 @@ class RWLock:
             self._queue.append((True, event))
         return event
 
+    def try_acquire_write(self) -> bool:
+        """Claim exclusive access without allocating a grant event.
+
+        Returns ``True`` (write lock held, release with
+        :meth:`release_write`) exactly when :meth:`acquire_write` would have
+        granted immediately.  Fast-path counterpart of
+        :meth:`~repro.simulation.resources.Resource.try_acquire`: only valid
+        when the simulator instant is settled, so the elided grant cannot be
+        reordered against a same-instant event.
+        """
+        if not self._writer and self._readers == 0 and not self._queue:
+            self._writer = True
+            return True
+        return False
+
     def release_read(self) -> None:
         if self._readers <= 0:
             raise RuntimeError(f"release_read() with no readers on {self.name!r}")

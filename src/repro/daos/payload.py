@@ -20,13 +20,24 @@ never allocates 20 MiB.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["Payload", "BytesPayload", "PatternPayload", "ConcatPayload"]
+
+#: Content digests memoised across payload *instances*.  Serving paths build
+#: a fresh payload object per request for the same underlying content, so the
+#: per-instance digest slot alone never hits; keying by content identity
+#: (see ``Payload._memo_key``) makes re-digesting a field O(1) after its
+#: first computation.  Values are 32-byte digests; the table is cleared when
+#: it grows past the bound rather than LRU-tracked (re-digesting after a
+#: clear is correct, just slower once).
+_DIGEST_MEMO: Dict[Tuple, bytes] = {}
+_DIGEST_MEMO_BOUND = 1 << 16
 
 
 class Payload(ABC):
@@ -58,6 +69,16 @@ class Payload(ABC):
         """
         yield self.to_bytes()
 
+    def _memo_key(self) -> Optional[Tuple]:
+        """Hashable content identity for the cross-instance digest memo.
+
+        ``None`` opts out of memoisation (the default, and the choice for
+        payloads whose key would cost as much memory as the content).
+        Distinct keys may map to equal content — the memo then just stores
+        the digest twice — but equal keys MUST imply equal content.
+        """
+        return None
+
     def content_digest(self) -> bytes:
         """SHA-256 of the materialised content, computed lazily and cached.
 
@@ -67,10 +88,18 @@ class Payload(ABC):
         """
         digest = getattr(self, "_digest", None)
         if digest is None:
-            h = hashlib.sha256()
-            for chunk in self._chunks():
-                h.update(chunk)
-            digest = h.digest()
+            key = self._memo_key()
+            if key is not None:
+                digest = _DIGEST_MEMO.get(key)
+            if digest is None:
+                h = hashlib.sha256()
+                for chunk in self._chunks():
+                    h.update(chunk)
+                digest = h.digest()
+                if key is not None:
+                    if len(_DIGEST_MEMO) >= _DIGEST_MEMO_BOUND:
+                        _DIGEST_MEMO.clear()
+                    _DIGEST_MEMO[key] = digest
             self._digest = digest
         return digest
 
@@ -106,6 +135,13 @@ class BytesPayload(Payload):
     @property
     def size(self) -> int:
         return len(self._data)
+
+    def _memo_key(self) -> Optional[Tuple]:
+        # Small literal payloads (KV values, test fixtures) key by their
+        # bytes; beyond that the key would rival the content in size.
+        if len(self._data) <= 4096:
+            return ("B", self._data)
+        return None
 
     def slice(self, offset: int, length: int) -> "BytesPayload":
         self._check_bounds(offset, length)
@@ -145,15 +181,15 @@ class PatternPayload(Payload):
     def size(self) -> int:
         return self._size
 
+    def _memo_key(self) -> Optional[Tuple]:
+        return ("P", self.seed, self.origin, self._size)
+
     def slice(self, offset: int, length: int) -> "PatternPayload":
         self._check_bounds(offset, length)
         return PatternPayload(length, self.seed, origin=self.origin + offset)
 
     def _block(self, block: int) -> np.ndarray:
-        rng = np.random.Generator(
-            np.random.PCG64(np.random.SeedSequence(entropy=[self.seed, block]))
-        )
-        return rng.integers(0, 256, size=self._BLOCK, dtype=np.uint8)
+        return _pattern_block(self.seed, block)
 
     def _chunks(self) -> Iterator[bytes]:
         if self._size == 0:
@@ -171,6 +207,23 @@ class PatternPayload(Payload):
 
     def __repr__(self) -> str:
         return f"<PatternPayload {self.size} B seed={self.seed} origin={self.origin}>"
+
+
+@functools.lru_cache(maxsize=256)
+def _pattern_block(seed: int, block: int) -> np.ndarray:
+    """One 64 KiB pattern block, LRU-cached across payload instances.
+
+    Pattern bytes are a pure function of ``(seed, block)``; serving
+    workloads re-read the same hot fields, so regenerating a PCG64 stream
+    per read is the single largest avoidable cost at paper scale.  The
+    cached array is frozen — callers only slice and ``tobytes`` it.
+    """
+    rng = np.random.Generator(
+        np.random.PCG64(np.random.SeedSequence(entropy=[seed, block]))
+    )
+    data = rng.integers(0, 256, size=PatternPayload._BLOCK, dtype=np.uint8)
+    data.setflags(write=False)
+    return data
 
 
 class ConcatPayload(Payload):
@@ -207,6 +260,15 @@ class ConcatPayload(Payload):
     def pieces(self) -> Sequence[Payload]:
         """The flattened, non-empty constituent payloads."""
         return self._pieces
+
+    def _memo_key(self) -> Optional[Tuple]:
+        keys = []
+        for piece in self._pieces:
+            key = piece._memo_key()
+            if key is None:
+                return None
+            keys.append(key)
+        return ("C", tuple(keys))
 
     def slice(self, offset: int, length: int) -> "Payload":
         self._check_bounds(offset, length)

@@ -34,8 +34,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.bench.runner import build_deployment
 from repro.config import ClusterConfig, DaosServiceConfig, HealthConfig
+from repro.daos.errors import ServiceBusyError
 from repro.daos.health import seeded_failure_schedule
 from repro.daos.objclass import object_class_by_name
+from repro.daos.rpc import MetricsMiddleware, TracingMiddleware
 from repro.experiments.common import (
     ExperimentResult,
     GridSpec,
@@ -45,6 +47,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.units import backend_kwargs
 from repro.fdb.fieldio import FieldIO
+from repro.serving.qos import QosAdmissionMiddleware, QosPolicy
 from repro.units import GiB, KiB, MiB
 from repro.workloads.fields import PRESSURE_LEVELS, UPPER_AIR_PARAMS, field_payload
 from repro.workloads.forecast import ForecastSpec
@@ -87,6 +90,34 @@ def _reader(fieldio: FieldIO, keys, field_size: int, span: int):
                 )
 
 
+def _throttled_reader(fieldio: FieldIO, keys, field_size: int, span: int, backoff: float):
+    """A reader behind per-tenant QoS admission: sheds retry with backoff.
+
+    When the tenant's token bucket queue is full, the index lookup is shed
+    with a retryable :class:`~repro.daos.errors.ServiceBusyError` before any
+    bulk array work happens; the reader backs off (linearly growing, capped)
+    and retries the whole span, so the herd spreads out instead of piling
+    onto the writers' fabric.
+    """
+    sim = fieldio.client.sim
+    for start in range(0, len(keys), span):
+        chunk = keys[start : start + span]
+        attempt = 0
+        while True:
+            try:
+                payloads = yield from fieldio.read_many(chunk)
+                break
+            except ServiceBusyError:
+                attempt += 1
+                yield sim.timeout(backoff * min(attempt, 8))
+        for key, payload in zip(chunk, payloads):
+            if payload.size != field_size:
+                raise AssertionError(
+                    f"product read of {key.canonical()!r} returned "
+                    f"{payload.size} B, expected {field_size}"
+                )
+
+
 def cycle_point(
     *,
     servers: int,
@@ -105,6 +136,10 @@ def cycle_point(
     oclass: str = "S1",
     fail_at: Optional[float] = None,
     backend: str = "daos",
+    reader_qos_rate: Optional[float] = None,
+    reader_qos_burst: float = 4.0,
+    reader_qos_depth: int = 2,
+    reader_retry_backoff: float = 0.001,
 ) -> Dict[str, Any]:
     """Grid unit: run ``n_cycles`` producer/consumer cycles, JSON projection.
 
@@ -113,7 +148,11 @@ def cycle_point(
     overlap on every shared resource.  ``fail_at`` (DAOS only) arms a
     seeded single-engine failure at that simulated time; pair it with a
     replicated ``oclass`` so degraded reads and rebuild traffic join the
-    contention.
+    contention.  ``reader_qos_rate`` puts every reader behind one shared
+    per-tenant :class:`~repro.serving.qos.QosAdmissionMiddleware` (metering
+    index ``kv_get`` sub-ops); shed readers retry with
+    ``reader_retry_backoff``-spaced backoff, modelling the gateway
+    protecting the ensemble writers from a product-reader herd.
     """
     if fail_at is None:
         config = ClusterConfig(
@@ -145,18 +184,44 @@ def cycle_point(
     per_node = -(-total_procs // clients)
     addresses = cluster.client_addresses(per_node)
 
+    # One admission middleware shared by every reader client = one limit
+    # for the whole "products" tenant, however many connections it opens.
+    qos = None
+    if reader_qos_rate is not None:
+        qos = QosAdmissionMiddleware(
+            "products",
+            QosPolicy(
+                rate=reader_qos_rate,
+                burst=reader_qos_burst,
+                max_queue_depth=reader_qos_depth,
+            ),
+            ops=("kv_get",),
+        )
+
     # Replicated classes only matter for the rebuild round; the plain
     # rounds keep FieldIO's defaults so the baseline stays the baseline.
-    def make_fieldio(index: int) -> FieldIO:
-        client = system.make_client(addresses[index % len(addresses)])
+    def make_fieldio(index: int, middleware=None) -> FieldIO:
+        client = system.make_client(
+            addresses[index % len(addresses)], middleware=middleware
+        )
         if fail_at is None:
             return FieldIO(client, pool)
         return FieldIO(
             client, pool, kv_oclass=storage_oclass, array_oclass=storage_oclass
         )
 
+    reader_chain = (
+        None if qos is None
+        else lambda: [MetricsMiddleware(), qos, TracingMiddleware()]
+    )
     writer_ios = [make_fieldio(i) for i in range(n_writers)]
-    reader_ios = [make_fieldio(n_writers + i) for i in range(n_readers)]
+    reader_ios = [
+        make_fieldio(
+            n_writers + i,
+            middleware=reader_chain() if reader_chain else None,
+        )
+        for i in range(n_readers)
+    ]
 
     write_seconds = 0.0
     read_seconds = 0.0
@@ -181,19 +246,19 @@ def cycle_point(
             previous = list(
                 _cycle_forecast(cycle - 1, n_params, n_levels, n_steps).field_keys()
             )
+            def reader_body(index):
+                keys = [
+                    previous[(index * reads_per_reader + j) % len(previous)]
+                    for j in range(reads_per_reader)
+                ]
+                if qos is None:
+                    return _reader(reader_ios[index], keys, field_size, span)
+                return _throttled_reader(
+                    reader_ios[index], keys, field_size, span, reader_retry_backoff
+                )
+
             readers = sim.spawn_batch(
-                (
-                    _reader(
-                        reader_ios[index],
-                        [
-                            previous[(index * reads_per_reader + j) % len(previous)]
-                            for j in range(reads_per_reader)
-                        ],
-                        field_size,
-                        span,
-                    )
-                    for index in range(n_readers)
-                ),
+                (reader_body(index) for index in range(n_readers)),
                 name=f"cycle{cycle}:readers",
             )
         if fail_at is not None and not armed and cycle > 0:
@@ -233,6 +298,14 @@ def cycle_point(
             {"duration": r.duration, "bytes_moved": r.bytes_moved}
             for r in rebuild_runs
         ],
+        "qos": None
+        if qos is None
+        else {
+            "admitted": qos.admitted,
+            "delayed": qos.delayed,
+            "shed": qos.shed,
+            "max_waiting": qos.max_waiting,
+        },
     }
 
 
@@ -270,11 +343,11 @@ def run(
         "mean cycle ms", "multi puts", "multi gets",
     ]
 
-    def _row(n_readers: int, rebuild: bool, point: Dict[str, Any]) -> List[object]:
+    def _row(n_readers: int, mode: str, point: Dict[str, Any]) -> List[object]:
         mean_cycle = point["duration"] / len(point["cycle_times"])
         return [
             n_readers,
-            "on" if rebuild else "off",
+            mode,
             f"{point['write_bandwidth'] / GiB:.2f}",
             f"{point['read_bandwidth'] / GiB:.2f}",
             f"{mean_cycle * 1e3:.2f}",
@@ -283,7 +356,7 @@ def run(
         ]
 
     for n_readers, point in zip(reader_loads, points):
-        result.rows.append(_row(n_readers, False, point))
+        result.rows.append(_row(n_readers, "off", point))
 
     rebuild_point = None
     if backend == "daos":
@@ -300,12 +373,26 @@ def run(
             fail_at=0.5 * points[-1]["duration"],
         )
         rebuild_point = run_grid(rebuild_grid)[0]
-        result.rows.append(_row(top_load, True, rebuild_point))
+        result.rows.append(_row(top_load, "on", rebuild_point))
     else:
         result.notes.append(
             f"backend {backend}: no replicated object classes or health "
             "schedule — rebuild round skipped"
         )
+
+    # The most contended point once more, with the reader herd behind a
+    # per-tenant QoS admission limit: shed-and-retry spreads the index
+    # lookups out, buying the writers part of their uncontended bandwidth
+    # back.  Tagged "qos" in the mode column (the CI smoke reads only the
+    # plain "off" sweep).
+    top_load = reader_loads[-1]
+    qos_rate = 20000.0 if scale.is_paper else 1000.0
+    qos_grid = GridSpec("operational_cycle:qos")
+    qos_grid.add(
+        cycle_point, **base, n_readers=top_load, reader_qos_rate=qos_rate, **extra
+    )
+    qos_point = run_grid(qos_grid)[0]
+    result.rows.append(_row(top_load, "qos", qos_point))
 
     result.series.append(
         Series(
@@ -333,5 +420,13 @@ def run(
     total_multi = sum(p["multi_puts"] + p["multi_gets"] for p in points)
     result.notes.append(
         f"vectorized index multi-ops across the sweep: {total_multi}"
+    )
+    qos_stats = qos_point["qos"]
+    result.notes.append(
+        f"reader QoS at {top_load} readers (rate {qos_rate:.0f}/s): write "
+        f"{qos_point['write_bandwidth'] / GiB:.2f} GiB/s vs "
+        f"{contended / GiB:.2f} unthrottled; "
+        f"{qos_stats['shed']} shed, {qos_stats['delayed']} delayed, "
+        f"peak queue {qos_stats['max_waiting']}"
     )
     return result

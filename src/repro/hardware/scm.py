@@ -19,15 +19,21 @@ class OutOfSpaceError(Exception):
 
 
 class ScmModule:
-    """A single DCPMM device with byte-granular usage accounting."""
+    """A single DCPMM device with byte-granular usage accounting.
 
-    __slots__ = ("capacity", "used")
+    A module that belongs to a :class:`ScmRegion` propagates every
+    allocate/release into the region's running ``used`` aggregate, so the
+    region-level properties stay O(1) even when a module is driven directly.
+    """
 
-    def __init__(self, capacity: int) -> None:
+    __slots__ = ("capacity", "used", "_region")
+
+    def __init__(self, capacity: int, region: "ScmRegion" = None) -> None:
         if capacity <= 0:
             raise ValueError(f"module capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self.used = 0
+        self._region = region
 
     @property
     def free(self) -> int:
@@ -41,6 +47,8 @@ class ScmModule:
                 f"requested {nbytes} B, only {self.free} B free on module"
             )
         self.used += nbytes
+        if self._region is not None:
+            self._region._used += nbytes
 
     def release(self, nbytes: int) -> None:
         if nbytes < 0:
@@ -48,6 +56,8 @@ class ScmModule:
         if nbytes > self.used:
             raise ValueError(f"releasing {nbytes} B but only {self.used} B in use")
         self.used -= nbytes
+        if self._region is not None:
+            self._region._used -= nbytes
 
 
 class ScmRegion:
@@ -61,21 +71,29 @@ class ScmRegion:
     def __init__(self, n_modules: int = 6, module_capacity: int = 256 * 1024**3):
         if n_modules < 1:
             raise ValueError("a region needs at least one module")
+        # Running aggregates: ``capacity``/``used``/``free`` are consulted on
+        # every allocation (once per write-path charge), so they must not
+        # re-sum the modules per call.  ``_used`` is maintained by the
+        # member modules themselves (they back-reference the region), so it
+        # stays in lockstep even when a module is allocated directly
+        # (asserted in tests/hardware/test_scm.py).
+        self._capacity = n_modules * int(module_capacity)
+        self._used = 0
         self.modules: List[ScmModule] = [
-            ScmModule(module_capacity) for _ in range(n_modules)
+            ScmModule(module_capacity, region=self) for _ in range(n_modules)
         ]
 
     @property
     def capacity(self) -> int:
-        return sum(m.capacity for m in self.modules)
+        return self._capacity
 
     @property
     def used(self) -> int:
-        return sum(m.used for m in self.modules)
+        return self._used
 
     @property
     def free(self) -> int:
-        return self.capacity - self.used
+        return self._capacity - self._used
 
     def allocate(self, nbytes: int) -> None:
         """Reserve ``nbytes`` spread evenly (interleaved) across modules."""

@@ -79,6 +79,161 @@ class PosixClient(DaosClient):
         finally:
             self.mds.release(request)
 
+    def _fast_mds_service(self, service_time: float):
+        """Fast-body MDS occupancy: ``_mds_service`` with grant elision.
+
+        Same overload rejection up front; the uncontended grant is elided
+        (settled-instant guarded) and the service window travels as a fused
+        lane delay, mirroring the DAOS fast bodies' target-service elision.
+        """
+        limit = self.posix.mds_overload_queue
+        mds = self.mds
+        if limit is not None and mds.queue_length >= limit:
+            raise MetadataOverloadError(
+                f"MDS request queue at {mds.queue_length} (limit {limit})"
+            )
+        sim = self.sim
+        if sim.peek() > sim._now and mds.try_acquire():
+            try:
+                yield service_time
+            finally:
+                mds.release_direct()
+        else:
+            yield from self._service_slow(mds, service_time)
+
+    # -- metadata fast path ------------------------------------------------------
+    def _fast_kv_put(self, kv: KeyValueObject, key: bytes, value: bytes):
+        """Fused-delay body of ``kv_put`` (timeline of the posix ``_do_kv_put``)."""
+        sim = self.sim
+        bulk = self._kv_bulk_size(value)
+        yield self._message_latency
+        lock = self.locks.lock(kv.oid)
+        yield from lock.acquire_write(self._owner)
+        try:
+            yield from self._fast_mds_service(self.posix.mds_update_service)
+            target = self._key_target(kv, key)
+            service = self.system.target(target).service
+            service_time = self.config.kv_put_service_time
+            if sim.peek() > sim._now and service.try_acquire():
+                try:
+                    yield service_time
+                finally:
+                    service.release_direct()
+            else:
+                yield from self._service_slow(service, service_time)
+            if bulk:
+                yield from self._kv_bulk(target, bulk, write=True)
+            kv.put(key, value)
+        finally:
+            lock.release_write()
+        yield self._message_latency
+
+    def _fast_kv_get(self, kv: KeyValueObject, key: bytes):
+        """Fused-delay body of ``kv_get_or_none`` (posix timeline)."""
+        sim = self.sim
+        yield self._message_latency
+        lock = self.locks.lock(kv.oid)
+        yield from lock.acquire_read(self._owner)
+        try:
+            yield from self._fast_mds_service(self.posix.mds_getattr_service)
+            service = self.system.target(self._key_target(kv, key)).service
+            service_time = self.config.kv_get_service_time
+            if sim.peek() > sim._now and service.try_acquire():
+                try:
+                    yield service_time
+                finally:
+                    service.release_direct()
+            else:
+                yield from self._service_slow(service, service_time)
+            value = kv.get_or_none(key)
+        finally:
+            lock.release_read()
+        bulk = self._kv_bulk_size(value)
+        if bulk:
+            yield from self._kv_bulk(self._key_target(kv, key), bulk, write=False)
+        yield self._message_latency
+        return value
+
+    def _fast_kv_remove(self, kv: KeyValueObject, key: bytes):
+        """Fused-delay body of ``kv_remove`` (posix timeline)."""
+        sim = self.sim
+        yield self._message_latency
+        lock = self.locks.lock(kv.oid)
+        yield from lock.acquire_write(self._owner)
+        try:
+            yield from self._fast_mds_service(self.posix.mds_unlink_service)
+            service = self.system.target(self._key_target(kv, key)).service
+            service_time = self.config.kv_put_service_time
+            if sim.peek() > sim._now and service.try_acquire():
+                try:
+                    yield service_time
+                finally:
+                    service.release_direct()
+            else:
+                yield from self._service_slow(service, service_time)
+            kv.remove(key)
+        finally:
+            lock.release_write()
+        yield self._message_latency
+
+    def _fast_kv_open(self, kv: KeyValueObject):
+        """Fused-delay body of ``kv_open`` (posix timeline: an MDS open)."""
+        yield self._message_latency
+        yield from self._fast_mds_service(self.posix.mds_open_service)
+        yield self._message_latency
+        return kv
+
+    def _fast_container_exists(self, pool: Pool, ref):
+        """Fused-delay body of ``container_exists`` (posix: an MDS getattr)."""
+        yield self._message_latency
+        yield from self._fast_mds_service(self.posix.mds_getattr_service)
+        yield self._message_latency
+        return pool.has_container(ref)
+
+    def _fast_container_touch(self, container: Container):
+        """Fused-delay counterpart of the posix ``_container_touch``."""
+        if container.is_default:
+            return
+        yield from self._fast_mds_service(self.posix.mds_getattr_service)
+
+    def _fast_array_create(self, container: Container, array: ArrayObject):
+        """Fused-delay body of ``array_create`` (posix: an MDS create)."""
+        yield self._message_latency
+        yield from self._fast_container_touch(container)
+        yield from self._fast_mds_service(self.posix.mds_create_service)
+        yield self._message_latency
+        return array
+
+    def _fast_array_open(self, container: Container, array: ArrayObject):
+        """Fused-delay body of ``array_open`` (posix: an MDS open)."""
+        yield self._message_latency
+        yield from self._fast_container_touch(container)
+        yield from self._fast_mds_service(self.posix.mds_open_service)
+        yield self._message_latency
+        return array
+
+    def _fast_array_close(self, array: ArrayObject):
+        """Fused-delay body of ``array_close`` (posix: an MDS close)."""
+        yield from self._fast_mds_service(self.posix.mds_close_service)
+        yield self._message_latency
+
+    def _fast_array_get_size(self, array: ArrayObject):
+        """Fused-delay body of ``array_get_size`` (posix: getattr + OST glimpse)."""
+        sim = self.sim
+        yield self._message_latency
+        yield from self._fast_mds_service(self.posix.mds_getattr_service)
+        service = self.system.target(self._lead_target(array)).service
+        service_time = self.config.rpc_service_time
+        if sim.peek() > sim._now and service.try_acquire():
+            try:
+                yield service_time
+            finally:
+                service.release_direct()
+        else:
+            yield from self._service_slow(service, service_time)
+        yield self._message_latency
+        return array.size
+
     # -- extent locking ----------------------------------------------------------
     def _extent_locks(self, array: ArrayObject, size: int) -> List[ExtentLock]:
         """The extent locks covering ``size`` bytes, in stripe-cell order.

@@ -212,6 +212,8 @@ class Simulator:
         self._seq = count()
         self._flush: List[Any] = []
         self._running = False
+        #: Freelist of recycled fast-lane events (see :meth:`lane_acquire`).
+        self._lane_free: List[Event] = []
         mode = _env_scheduler()
         if mode == "auto":
             mode = scheduler
@@ -291,6 +293,42 @@ class Simulator:
         bootstrap._value = None
         self._enqueue_triggered(bootstrap)
         return processes
+
+    def lane_acquire(self) -> Event:
+        """Take a recycled *fast-lane* event from the freelist.
+
+        A lane event is a plain :class:`Event` whose owner re-arms it for
+        successive delays by resetting ``_value`` to ``PENDING``, installing
+        its own callback list, and calling :meth:`_schedule` directly — the
+        fused-delay mechanism of the metadata fast path
+        (:class:`~repro.daos.client._FastDriver`).  Recycling through the
+        simulator-wide freelist means a storm of fast metadata ops allocates
+        O(concurrent ops) events instead of three fresh Timeouts per op.
+
+        The caller owns the event until :meth:`lane_release`; lane events
+        must never be exposed to other waiters.
+        """
+        free = self._lane_free
+        if free:
+            return free.pop()
+        return Event(self, name="fastlane")
+
+    def lane_release(self, event: Event) -> None:
+        """Return a lane event taken with :meth:`lane_acquire` to the freelist."""
+        self._lane_free.append(event)
+
+    def settled(self) -> bool:
+        """True when no pending event is scheduled for the current instant.
+
+        This is the guard the metadata fast path uses before eliding a
+        resource/lock grant event: when the instant is settled, nothing else
+        can observe (or be reordered against) the intermediate grant, so
+        continuing inline is indistinguishable from dispatching the grant
+        through the queue.  With a foreign event pending at ``now`` the fast
+        path falls back to the event-based grant, preserving exact
+        ``(time, seq)`` interleaving.
+        """
+        return self.peek() > self._now
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all of ``events`` have succeeded."""

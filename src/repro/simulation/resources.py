@@ -70,6 +70,29 @@ class Resource:
             self._waiters.append(event)
         return event
 
+    def try_acquire(self) -> bool:
+        """Claim a free slot without allocating a grant event.
+
+        Returns ``True`` (slot held, release with :meth:`release_direct`)
+        exactly when :meth:`request` would have granted immediately.  Used
+        by the metadata fast path to elide uncontended grant events; callers
+        must only do so when the simulator instant is settled
+        (:meth:`~repro.simulation.core.Simulator.settled`), otherwise grant
+        ordering against same-instant events could differ from the event
+        path.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            return True
+        return False
+
+    def release_direct(self) -> None:
+        """Release a slot claimed via :meth:`try_acquire` (FIFO handoff kept)."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release_direct() on idle resource {self.name!r}")
+        self._in_use -= 1
+        self._grant_next()
+
     def release(self, request: Event) -> None:
         """Release the slot held via ``request``.
 

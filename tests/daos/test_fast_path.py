@@ -1,0 +1,230 @@
+"""Bitwise identity of the metadata-plane fast path vs the generic chain.
+
+The fast path (``DaosClient._fast_submit`` + fused-delay bodies + the
+plain-chain specialisation in ``compose_chain``) is contractually invisible:
+with ``REPRO_RPC_FAST=0`` every op must produce the *same bits* — event
+timings, return values, per-op metrics, final clock — as with the fast path
+engaged.  These tests run one deterministic metadata storm twice (fast vs
+generic) and compare full fingerprints, across middleware-chain shapes,
+both storage backends, and a tracer installed mid-run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import build_deployment
+from repro.config import ClusterConfig, FaultInjectionConfig
+from repro.daos.client import DaosClient
+from repro.daos.errors import ServiceBusyError, SimulatedFaultError
+from repro.daos.objclass import OC_S1, OC_SX
+from repro.daos.oid import ObjectId
+from repro.daos.rpc import MetricsMiddleware, TracingMiddleware
+from repro.serving.qos import QosAdmissionMiddleware, QosPolicy
+
+N_CLIENTS = 4
+OPS = 12
+
+
+def _fingerprint(sim, clients, trajectory, results, shared_kv):
+    return {
+        "now": float(sim.now).hex(),
+        "trajectory": [(rank, op, t.hex()) for rank, op, t in trajectory],
+        "results": results,
+        "stats": [dict(c.stats) for c in clients],
+        "op_metrics": [
+            {op: entry.as_dict() for op, entry in sorted(c.op_metrics.items())}
+            for c in clients
+        ],
+        "shared_keys": sorted(shared_kv.keys()),
+    }
+
+
+def _run_storm(backend="daos", config=None, chain_factory=None, mid_run_hook=None):
+    """One deterministic metadata storm; returns its full fingerprint.
+
+    ``chain_factory(system)`` builds a middleware list per client (None =
+    the client default).  ``mid_run_hook(sim)`` fires from inside rank 0
+    halfway through its ops (used to install a tracer mid-run).
+    """
+    config = config or ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=5)
+    cluster, system, pool = build_deployment(config, backend=backend)
+    sim = cluster.sim
+    addresses = cluster.client_addresses(N_CLIENTS)
+    clients = [
+        system.make_client(
+            address,
+            middleware=chain_factory(system) if chain_factory else None,
+        )
+        for address in addresses
+    ]
+
+    def bootstrap():
+        container = yield from clients[0].container_create(
+            pool, label="fastpath", is_default=True
+        )
+        # A non-default container so array ops pay the container-touch
+        # (pool-service / MDS lookup) leg of the timeline too.
+        side = yield from clients[0].container_create(pool, label="fastpath-side")
+        shared = yield from clients[0].kv_open(container, ObjectId(1, 9), OC_SX)
+        return container, side, shared
+
+    boot = sim.process(bootstrap(), name="boot")
+    sim.run(until=boot)
+    container, side, shared_kv = boot.value
+
+    trajectory = []
+    results = []
+
+    def storm(rank, client):
+        # Handles are registered before the open/create RPC, so a faulted
+        # opener can recover its object functionally and press on.
+        try:
+            own = yield from client.kv_open(container, ObjectId(1, 20 + rank), OC_S1)
+        except SimulatedFaultError:
+            own = container.get_object(ObjectId(1, 20 + rank))
+        try:
+            array = yield from client.array_create(side, OC_S1, ObjectId(2, 40 + rank))
+        except SimulatedFaultError:
+            array = side.get_object(ObjectId(2, 40 + rank))
+        for op in range(OPS):
+            if mid_run_hook is not None and rank == 0 and op == OPS // 2:
+                mid_run_hook(sim)
+            key = f"k/{rank}/{op}".encode()
+            try:
+                yield from client.kv_put(own, key, b"v" * (8 + op))
+                value = yield from client.kv_get_or_none(own, key)
+                results.append((rank, op, value))
+            except SimulatedFaultError:
+                # Retry budget exhausted under the fault chain; the failure
+                # itself must be bit-identical across paths.
+                results.append((rank, op, "fault"))
+            # Shared-object put: genuine write-lock contention, so the
+            # fast path must fall back to real grant events here.
+            try:
+                yield from client.kv_put(shared_kv, f"s/{op}".encode(), b"w")
+            except (ServiceBusyError, SimulatedFaultError):
+                results.append((rank, op, "shed"))
+            if op % 3 == 0:
+                try:
+                    present = yield from client.container_exists(pool, "fastpath")
+                    results.append((rank, op, present))
+                except SimulatedFaultError:
+                    results.append((rank, op, "fault"))
+            if op % 3 == 1:
+                try:
+                    handle = yield from client.array_open(side, array.oid)
+                    size = yield from client.array_get_size(handle)
+                    yield from client.array_close(handle)
+                    results.append((rank, op, size))
+                except SimulatedFaultError:
+                    results.append((rank, op, "fault"))
+            if op % 4 == 3:
+                try:
+                    yield from client.kv_remove(own, key)
+                except SimulatedFaultError:
+                    results.append((rank, op, "fault"))
+            trajectory.append((rank, op, float(sim.now)))
+
+    workers = [
+        sim.process(storm(rank, client), name=f"w{rank}")
+        for rank, client in enumerate(clients)
+    ]
+    sim.run(until=sim.all_of(workers))
+    return _fingerprint(sim, clients, trajectory, results, shared_kv), clients
+
+
+def _compare(monkeypatch, **kwargs):
+    fast, fast_clients = _run_storm(**kwargs)
+    monkeypatch.setenv("REPRO_RPC_FAST", "0")
+    generic, generic_clients = _run_storm(**kwargs)
+    monkeypatch.delenv("REPRO_RPC_FAST")
+    assert fast == generic
+    return fast_clients, generic_clients
+
+
+@pytest.mark.parametrize("backend", ["daos", "posixfs"])
+def test_plain_chain_identity(monkeypatch, backend):
+    """Default chain: the fast path engages and is bit-invisible."""
+    fast_clients, generic_clients = _compare(monkeypatch, backend=backend)
+    # Not vacuous: the first run really took the fast path, the second not.
+    assert all(c._fast_ok for c in fast_clients)
+    assert not any(c._fast_ok for c in generic_clients)
+
+
+def test_pool_map_refresh_chain_identity(monkeypatch):
+    """Health-enabled chain ([metrics, refresh, tracing]): generic only."""
+    base = ClusterConfig(n_server_nodes=2, n_client_nodes=1, seed=5)
+    config = dataclasses.replace(
+        base, daos=dataclasses.replace(
+            base.daos, health=dataclasses.replace(base.daos.health, enabled=True)
+        )
+    )
+    fast_clients, _ = _compare(monkeypatch, config=config)
+    assert not any(c._fast_ok for c in fast_clients)
+
+
+def test_retry_fault_chain_identity(monkeypatch):
+    """Faulty chain ([metrics, retry, tracing, fault]): generic only."""
+    base = ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=5)
+    config = dataclasses.replace(
+        base, daos=dataclasses.replace(
+            base.daos,
+            fault_injection=FaultInjectionConfig(enabled=True, rate=0.2, seed=11),
+        )
+    )
+    fast_clients, _ = _compare(monkeypatch, config=config)
+    assert not any(c._fast_ok for c in fast_clients)
+
+
+@pytest.mark.parametrize("backend", ["daos", "posixfs"])
+def test_qos_chain_identity(monkeypatch, backend):
+    """A QoS chain (serving tier) keeps the generic path; env var is inert."""
+
+    def chain(system):
+        return [
+            MetricsMiddleware(),
+            QosAdmissionMiddleware(
+                "tenant",
+                QosPolicy(rate=5000.0, burst=2.0, max_queue_depth=1),
+                ops=("kv_get",),
+            ),
+            TracingMiddleware(),
+        ]
+
+    fast_clients, _ = _compare(monkeypatch, backend=backend, chain_factory=chain)
+    assert not any(c._fast_ok for c in fast_clients)
+
+
+def test_mid_run_tracer_installation_falls_back(monkeypatch):
+    """Installing a tracer mid-run flips live fast-path clients to generic."""
+    from repro.simulation.trace import Tracer
+
+    tracers = []
+
+    def install(sim):
+        sim.tracer = Tracer()
+        tracers.append(sim.tracer)
+
+    fast, _ = _run_storm(mid_run_hook=install)
+    fast_spans = [(s.time, s.kind, s.fields) for s in tracers[-1].filter("rpc")]
+    assert fast_spans, "tracer must capture spans after mid-run installation"
+
+    monkeypatch.setenv("REPRO_RPC_FAST", "0")
+    generic, _ = _run_storm(mid_run_hook=install)
+    monkeypatch.delenv("REPRO_RPC_FAST")
+    generic_spans = [(s.time, s.kind, s.fields) for s in tracers[-1].filter("rpc")]
+
+    assert fast == generic
+    assert fast_spans == generic_spans
+
+
+def test_escape_hatch_env_var_disables_fast_path(monkeypatch):
+    """REPRO_RPC_FAST=0 at client construction disables the fast path."""
+    cluster, system, _pool = build_deployment(
+        ClusterConfig(n_server_nodes=1, n_client_nodes=1, seed=5)
+    )
+    address = cluster.client_addresses(1)[0]
+    assert DaosClient(system, address)._fast_ok
+    monkeypatch.setenv("REPRO_RPC_FAST", "0")
+    assert not DaosClient(system, address)._fast_ok

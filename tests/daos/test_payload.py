@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.daos.payload import BytesPayload, PatternPayload
+from repro.daos.payload import BytesPayload, ConcatPayload, PatternPayload
 
 
 def test_bytes_payload_roundtrip():
@@ -92,3 +92,38 @@ def test_pattern_slice_equals_bytes_slice(size, seed, data):
         payload.slice(offset, length).to_bytes()
         == payload.to_bytes()[offset : offset + length]
     )
+
+
+def test_digest_memo_spans_instances():
+    """Fresh instances of the same content reuse the memoised digest.
+
+    Serving paths build a new payload object per request, so the digest
+    memo must key on content identity, and a memo hit must agree with a
+    from-scratch computation (here: the equivalent BytesPayload).
+    """
+    import repro.daos.payload as payload_module
+
+    payload_module._DIGEST_MEMO.clear()
+    first = PatternPayload(100_000, seed=77, origin=3)
+    digest = first.content_digest()
+    assert payload_module._DIGEST_MEMO  # populated by the first computation
+    again = PatternPayload(100_000, seed=77, origin=3)
+    assert again.content_digest() == digest
+    assert digest == BytesPayload(first.to_bytes()).content_digest()
+    # Concat keys compose from piece keys; equal content, equal digest.
+    split = ConcatPayload([first.slice(0, 40_000), first.slice(40_000, 60_000)])
+    assert split.content_digest() == digest
+    assert ConcatPayload(
+        [first.slice(0, 40_000), first.slice(40_000, 60_000)]
+    ).content_digest() == digest
+
+
+def test_pattern_blocks_are_frozen():
+    """The cross-instance block cache hands out read-only arrays."""
+    import numpy as np
+    import pytest as _pytest
+
+    block = PatternPayload(16, seed=3)._block(0)
+    with _pytest.raises(ValueError):
+        block[0] = 0
+    assert isinstance(block, np.ndarray)

@@ -76,6 +76,36 @@ def test_region_full_rejected_without_state_change():
     assert region.used == 15
 
 
+def test_region_aggregate_tracks_direct_module_traffic():
+    """The O(1) region aggregates stay exact under *direct* module traffic.
+
+    ``ScmRegion.used``/``free`` are running aggregates (no per-call re-sum);
+    member modules propagate their own allocate/release into them, so
+    driving a module directly — as placement code and the spill path do —
+    must keep region- and module-level accounting in lockstep.
+    """
+    region = ScmRegion(n_modules=3, module_capacity=100)
+    region.modules[0].allocate(40)
+    region.modules[2].allocate(25)
+    assert region.used == 65 == sum(m.used for m in region.modules)
+    assert region.free == 300 - 65
+    region.allocate(30)  # interleaved region-level traffic on top
+    assert region.used == 95 == sum(m.used for m in region.modules)
+    region.modules[0].release(40)
+    assert region.used == 55 == sum(m.used for m in region.modules)
+    region.release(55)
+    assert region.used == 0 == sum(m.used for m in region.modules)
+    assert region.free == region.capacity
+
+
+def test_detached_module_needs_no_region():
+    """A standalone module (no owning region) accounts independently."""
+    module = ScmModule(100)
+    module.allocate(10)
+    module.release(10)
+    assert module.used == 0
+
+
 @given(
     amounts=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=30)
 )
